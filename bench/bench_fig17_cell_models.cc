@@ -1,0 +1,156 @@
+// Fig. 17 (§7.8 "Per-cell Models"): (a) lookup time — model inference plus
+// rectification search — of the PLM, the RMI and plain binary search on
+// OSM-like timestamp data and staggered-uniform data at several sizes;
+// (b) the PLM's delta-controlled size/speed trade-off.
+//
+// This is a genuine micro-benchmark, so unlike the experiment harnesses it
+// uses live google-benchmark timing loops.
+//
+// Paper shape to check: PLM ~ RMI, both up to ~4x faster than binary
+// search; lower delta -> bigger model, faster lookups; delta = 50 is a
+// reasonable middle.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "data/distributions.h"
+#include "learned/plm.h"
+#include "learned/rmi.h"
+#include "learned/search_util.h"
+
+namespace flood {
+namespace bench {
+namespace {
+
+std::vector<Value> MakeData(const std::string& kind, size_t n) {
+  Rng rng(177);
+  std::vector<Value> v;
+  if (kind == "osm") {
+    // Recency-skewed timestamps, like the OSM evaluation data.
+    v = RecencySkewedColumn(n, 1'104'537'600, 1'567'296'000, 3.5, rng);
+  } else {
+    // Staggered uniform: uniform over identically sized disjoint intervals.
+    v.reserve(n);
+    const size_t blocks = 16;
+    for (size_t i = 0; i < n; ++i) {
+      const Value block = static_cast<Value>(i % blocks);
+      v.push_back(block * 10'000'000 + rng.UniformInt(0, 1'000'000));
+    }
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<Value> MakeProbes(const std::vector<Value>& data, size_t n) {
+  Rng rng(178);
+  std::vector<Value> probes(n);
+  for (auto& p : probes) {
+    p = data[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1))];
+  }
+  return probes;
+}
+
+struct Workbench {
+  std::vector<Value> data;
+  std::vector<Value> probes;
+  Plm plm;
+  Rmi rmi;
+};
+
+const Workbench& GetWorkbench(const std::string& kind, size_t n,
+                              double delta) {
+  static std::map<std::string, Workbench>* cache =
+      new std::map<std::string, Workbench>();
+  const std::string key =
+      kind + "/" + std::to_string(n) + "/" + std::to_string(delta);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  Workbench wb;
+  wb.data = MakeData(kind, n);
+  wb.probes = MakeProbes(wb.data, 4096);
+  wb.plm = Plm::Train(wb.data, delta);
+  wb.rmi = Rmi::Train(wb.data, std::max<size_t>(8, n / 512));
+  return (*cache)[key] = std::move(wb);
+}
+
+void BM_PlmLookup(benchmark::State& state, const std::string& kind,
+                  size_t n, double delta) {
+  const Workbench& wb = GetWorkbench(kind, n, delta);
+  const auto get = [&wb](size_t i) { return wb.data[i]; };
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value v = wb.probes[i++ & 4095];
+    benchmark::DoNotOptimize(
+        GallopLowerBound(get, wb.plm.Predict(v), wb.data.size(), v));
+  }
+  state.counters["model_kB"] =
+      static_cast<double>(wb.plm.MemoryUsageBytes()) / 1024.0;
+  state.counters["segments"] = static_cast<double>(wb.plm.num_segments());
+}
+
+void BM_RmiLookup(benchmark::State& state, const std::string& kind,
+                  size_t n) {
+  const Workbench& wb = GetWorkbench(kind, n, 50.0);
+  const auto get = [&wb](size_t i) { return wb.data[i]; };
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value v = wb.probes[i++ & 4095];
+    const Rmi::Bounds b = wb.rmi.Lookup(v);
+    benchmark::DoNotOptimize(BinaryLowerBound(get, b.lo, b.hi, v));
+  }
+  state.counters["model_kB"] =
+      static_cast<double>(wb.rmi.MemoryUsageBytes()) / 1024.0;
+}
+
+void BM_BinaryLookup(benchmark::State& state, const std::string& kind,
+                     size_t n) {
+  const Workbench& wb = GetWorkbench(kind, n, 50.0);
+  const auto get = [&wb](size_t i) { return wb.data[i]; };
+  size_t i = 0;
+  for (auto _ : state) {
+    const Value v = wb.probes[i++ & 4095];
+    benchmark::DoNotOptimize(BinaryLowerBound(get, 0, wb.data.size(), v));
+  }
+}
+
+void RegisterAll() {
+  for (const std::string kind : {"osm", "staggered"}) {
+    for (size_t n : {size_t{30'000}, size_t{500'000}, size_t{2'000'000}}) {
+      const std::string suffix = kind + "/" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          ("Fig17a/PLM/" + suffix).c_str(),
+          [kind, n](benchmark::State& s) { BM_PlmLookup(s, kind, n, 50.0); });
+      benchmark::RegisterBenchmark(
+          ("Fig17a/RMI/" + suffix).c_str(),
+          [kind, n](benchmark::State& s) { BM_RmiLookup(s, kind, n); });
+      benchmark::RegisterBenchmark(
+          ("Fig17a/Binary/" + suffix).c_str(),
+          [kind, n](benchmark::State& s) { BM_BinaryLookup(s, kind, n); });
+    }
+  }
+  // Fig. 17b: the delta trade-off on the large OSM-like dataset.
+  for (double delta : {5.0, 20.0, 50.0, 150.0, 500.0}) {
+    benchmark::RegisterBenchmark(
+        ("Fig17b/PLM/delta=" + std::to_string(static_cast<int>(delta)))
+            .c_str(),
+        [delta](benchmark::State& s) {
+          BM_PlmLookup(s, "osm", 2'000'000, delta);
+        });
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flood
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  flood::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Tab. 3 (§7.6 "Robustness of the model"): calibrate the cost model on
+// each dataset, use each model to learn layouts for all datasets, and run
+// the resulting 4x4 layouts on the corresponding test workloads.
+//
+// Paper shape to check: query times are similar no matter which dataset
+// calibrated the weights (mostly within ~10% of the diagonal) — the
+// weights calibrate to the hardware, not the data.
+
+#include "bench/bench_main.h"
+
+namespace flood {
+namespace bench {
+namespace {
+
+std::vector<BenchRow> Run() {
+  std::vector<BenchRow> rows;
+  const auto& names = AllDatasetNames();
+
+  // Calibrate one cost model per dataset (on its own workload).
+  std::map<std::string, CostModel> models;
+  for (const auto& name : names) {
+    const BenchDataset& ds = GetDataset(name);
+    const Workload calib_queries =
+        MakeWorkload(ds, WorkloadKind::kOlapSkewed, 40, 172);
+    CostModel::CalibrationOptions opts;
+    opts.num_layouts = 6;
+    opts.max_queries = 40;
+    opts.max_cells = 1 << 13;
+    StatusOr<CostModel> m =
+        CostModel::Calibrate(ds.table, calib_queries, opts);
+    FLOOD_CHECK(m.ok());
+    models[name] = std::move(*m);
+  }
+
+  // Learn layouts with every model; evaluate on the target's workload.
+  std::vector<std::string> header{"model \\ layout for"};
+  for (const auto& n : names) header.push_back(n);
+
+  auto run_cell = [&](const std::string& model_name,
+                      const std::string& target_name) {
+    const BenchDataset& ds = GetDataset(target_name);
+    const size_t nq = NumQueries(60);
+    const auto [train, test] =
+        MakeWorkload(ds, WorkloadKind::kOlapSkewed, nq * 2, 173)
+            .Split(0.5, 174);
+    LayoutOptimizer::Options opts;
+    opts.data_sample_size = 20'000;
+    opts.query_sample_size = 50;
+    opts.max_cells = std::max<uint64_t>(256, ds.table.num_rows() / 16);
+    auto flood =
+        BuildOptimizedFlood(ds.table, train, models[model_name], opts);
+    FLOOD_CHECK(flood.ok());
+    return RunWorkload(*flood->index, test).avg_ms;
+  };
+
+  // Diagonal first, so off-diagonal cells can report % vs it.
+  std::map<std::string, double> diagonal_ms;
+  for (const auto& name : names) diagonal_ms[name] = run_cell(name, name);
+
+  std::vector<std::vector<std::string>> out;
+  for (const auto& model_name : names) {
+    std::vector<std::string> row{model_name};
+    for (const auto& target_name : names) {
+      const double ms = model_name == target_name
+                            ? diagonal_ms[target_name]
+                            : run_cell(model_name, target_name);
+      const double diag = diagonal_ms[target_name];
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%s (%+.0f%%)",
+                    FormatMs(ms).c_str(), 100.0 * (ms - diag) / diag);
+      row.push_back(model_name == target_name ? FormatMs(ms) : cell);
+      rows.push_back({"Tab3/model_" + model_name + "/layout_" + target_name,
+                      ms, {}});
+    }
+    out.push_back(row);
+  }
+  PrintTable(
+      "Table 3: query time (ms) when layouts are learned with cost models "
+      "calibrated on other datasets (%% vs diagonal)",
+      header, out);
+  return rows;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flood
+
+FLOOD_BENCH_MAIN(flood::bench::Run)

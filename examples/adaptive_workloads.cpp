@@ -1,0 +1,134 @@
+// Adaptive workloads (§7.4 Fig. 10 + §8): a long-running service whose
+// query mix shifts. The CostMonitor detects the drift, the layout is
+// re-learned online, and a DeltaBuffer absorbs inserts between rebuilds.
+//
+//   $ ./examples/adaptive_workloads
+
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "core/delta_buffer.h"
+#include "core/layout_optimizer.h"
+#include "data/datasets.h"
+#include "query/executor.h"
+
+int main() {
+  using namespace flood;
+
+  std::printf("generating TPC-H lineitem (600k rows)...\n");
+  const BenchDataset tpch = MakeTpchDataset(600'000, 21);
+
+  // Phase 1: date-oriented reporting workload.
+  const Workload phase1 =
+      MakeWorkload(tpch, WorkloadKind::kOlapSkewed, 120, 22);
+  auto built = BuildOptimizedFlood(tpch.table, phase1, CostModel::Default());
+  FLOOD_CHECK(built.ok());
+  std::printf("phase-1 layout: %s\n",
+              built->index->layout().ToString().c_str());
+
+  CostMonitor monitor(/*degradation_threshold=*/1.5, /*ewma_alpha=*/0.1);
+  {
+    QueryStats stats;
+    for (const Query& q : phase1) {
+      (void)ExecuteAggregate(*built->index, q, &stats);
+    }
+    const double baseline =
+        static_cast<double>(stats.total_ns) / phase1.size();
+    monitor.Rebase(baseline);
+    std::printf("phase-1 avg query: %.3f ms\n", baseline / 1e6);
+  }
+
+  // The workload shifts to a dimension the learned layout *excluded*
+  // (column count 1, not the sort dimension) — the worst case for the
+  // current layout, exactly what §8's shift detection is for.
+  size_t shifted_dim = 1;
+  {
+    const GridLayout& layout = built->index->layout();
+    for (size_t i = 0; i < layout.NumGridDims(); ++i) {
+      if (layout.columns[i] == 1) {
+        shifted_dim = layout.grid_dim(i);
+        break;
+      }
+    }
+  }
+  Workload phase2;
+  {
+    QueryGenerator gen(tpch.table, 23);
+    QueryTypeSpec spec;
+    spec.range_dims = {shifted_dim};
+    phase2 = gen.GenerateWorkload({spec}, 120, 0.001);
+  }
+  std::printf("\n-- workload shifts to dim %zu (%s), which the layout "
+              "excluded --\n",
+              shifted_dim, tpch.table.name(shifted_dim).c_str());
+  for (const Query& q : phase2) {
+    QueryStats stats;
+    (void)ExecuteAggregate(*built->index, q, &stats);
+    monitor.Observe(static_cast<double>(stats.total_ns));
+    if (monitor.ShouldRetrain()) break;
+  }
+  std::printf("monitor: rolling %.3f ms vs baseline %.3f ms -> retrain=%s\n",
+              monitor.ewma_ns() / 1e6, monitor.baseline_ns() / 1e6,
+              monitor.ShouldRetrain() ? "YES" : "no");
+
+  if (monitor.ShouldRetrain()) {
+    auto relearned =
+        BuildOptimizedFlood(tpch.table, phase2, CostModel::Default());
+    FLOOD_CHECK(relearned.ok());
+    QueryStats before;
+    QueryStats after;
+    for (const Query& q : phase2) {
+      (void)ExecuteAggregate(*built->index, q, &before);
+      (void)ExecuteAggregate(*relearned->index, q, &after);
+    }
+    std::printf("re-learned layout: %s\n",
+                relearned->index->layout().ToString().c_str());
+    std::printf("phase-2 avg: stale %.3f ms -> fresh %.3f ms (%.1fx, "
+                "learned in %.2fs)\n",
+                static_cast<double>(before.total_ns) / phase2.size() / 1e6,
+                static_cast<double>(after.total_ns) / phase2.size() / 1e6,
+                static_cast<double>(before.total_ns) /
+                    static_cast<double>(after.total_ns),
+                relearned->learn.learning_seconds);
+    built = std::move(*relearned);
+  }
+
+  // Inserts between rebuilds: buffer + combined query, then merge.
+  std::printf("\n-- inserts via DeltaBuffer --\n");
+  DeltaBuffer buffer(tpch.table.num_dims());
+  Rng rng(24);
+  for (int i = 0; i < 10'000; ++i) {
+    FLOOD_CHECK(buffer
+                    .Insert({rng.UniformInt(0, 2526),
+                             rng.UniformInt(0, 2556), rng.UniformInt(1, 50),
+                             rng.UniformInt(0, 10),
+                             rng.UniformInt(1, 2'400'000),
+                             rng.UniformInt(1, 100'000),
+                             rng.UniformInt(900, 52'500)})
+                    .ok());
+  }
+  Query q = QueryBuilder(7).Range(0, 1000, 1002).Count().Build();
+  CountVisitor main_count;
+  built->index->Execute(q, main_count, nullptr);
+  CountVisitor delta_count;
+  buffer.Scan(q, delta_count, tpch.table.num_rows(), nullptr);
+  std::printf("combined count (index %llu + buffer %llu) = %llu\n",
+              static_cast<unsigned long long>(main_count.count()),
+              static_cast<unsigned long long>(delta_count.count()),
+              static_cast<unsigned long long>(main_count.count() +
+                                              delta_count.count()));
+
+  auto merged = buffer.MergeInto(tpch.table);
+  FLOOD_CHECK(merged.ok());
+  FloodIndex::Options opts;
+  opts.layout = built->index->layout();
+  FloodIndex rebuilt(opts);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(*merged, 10'000, 25);
+  FLOOD_CHECK(rebuilt.Build(*merged, ctx).ok());
+  const AggResult merged_result = ExecuteAggregate(rebuilt, q, nullptr);
+  std::printf("after merge + rebuild: %llu rows (table now %zu rows)\n",
+              static_cast<unsigned long long>(merged_result.count),
+              merged->num_rows());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a Flood index over an in-memory table, learn its
+// layout from a handful of example queries, and run aggregations.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/layout_optimizer.h"
+#include "query/executor.h"
+
+using flood::AggResult;
+using flood::CostModel;
+using flood::Query;
+using flood::QueryBuilder;
+using flood::QueryStats;
+using flood::Rng;
+using flood::Table;
+using flood::Value;
+using flood::Workload;
+
+int main() {
+  // 1. A table: three columns (x, y, value), one million rows.
+  const size_t n = 1'000'000;
+  Rng rng(42);
+  std::vector<Value> x(n);
+  std::vector<Value> y(n);
+  std::vector<Value> value(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.UniformInt(0, 999'999);
+    y[i] = rng.UniformInt(0, 999'999);
+    value[i] = rng.UniformInt(1, 100);
+  }
+  auto table = Table::FromColumns({x, y, value},
+                                  flood::Column::Encoding::kBlockDelta,
+                                  {"x", "y", "value"});
+  if (!table.ok()) {
+    std::fprintf(stderr, "table: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A training workload: the kinds of queries the app will run. Flood
+  //    learns which dimensions matter and how selective they are.
+  Workload train;
+  for (int i = 0; i < 30; ++i) {
+    const Value x0 = rng.UniformInt(0, 900'000);
+    const Value y0 = rng.UniformInt(0, 950'000);
+    train.Add(QueryBuilder(3)
+                  .Range(0, x0, x0 + 10'000)   // Tight filter on x.
+                  .Range(1, y0, y0 + 50'000)   // Looser filter on y.
+                  .Sum(2)
+                  .Build());
+  }
+
+  // 3. Learn the layout and build the index. CostModel::Default() ships
+  //    analytic weights; CostModel::Calibrate() tunes them to your machine.
+  const CostModel cost_model = CostModel::Default();
+  auto built = flood::BuildOptimizedFlood(*table, train, cost_model);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("learned layout: %s (%llu cells) in %.2fs\n",
+              built->index->layout().ToString().c_str(),
+              static_cast<unsigned long long>(built->index->num_cells()),
+              built->learn.learning_seconds);
+
+  // 4. Query it.
+  const Query q = QueryBuilder(3)
+                      .Range(0, 250'000, 260'000)
+                      .Range(1, 500'000, 550'000)
+                      .Sum(2)
+                      .Build();
+  QueryStats stats;
+  const AggResult result = flood::ExecuteAggregate(*built->index, q, &stats);
+  std::printf("SUM(value) over x in [250k,260k], y in [500k,550k]: %lld "
+              "(%llu rows)\n",
+              static_cast<long long>(result.sum),
+              static_cast<unsigned long long>(result.count));
+  std::printf("query took %.3f ms, scanned %llu points for %llu matches "
+              "(overhead %.1fx)\n",
+              static_cast<double>(stats.total_ns) / 1e6,
+              static_cast<unsigned long long>(stats.points_scanned),
+              static_cast<unsigned long long>(stats.points_matched),
+              stats.ScanOverhead());
+  return 0;
+}

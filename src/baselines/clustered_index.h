@@ -1,0 +1,49 @@
+#ifndef FLOOD_BASELINES_CLUSTERED_INDEX_H_
+#define FLOOD_BASELINES_CLUSTERED_INDEX_H_
+
+#include "learned/rmi.h"
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 2 (§7.2): clustered single-dimensional index. Rows are sorted
+/// by the workload's most selective dimension and located with a learned
+/// B-tree (RMI) over that column; queries not filtering the sort dimension
+/// degrade to full scans. The paper found the RMI variant within 1% of a
+/// classic B-tree, so only the RMI variant is implemented.
+class ClusteredColumnIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    /// Sort dimension; kAutoSelect picks the workload's most selective.
+    static constexpr size_t kAutoSelect = static_cast<size_t>(-1);
+    size_t sort_dim = kAutoSelect;
+    /// RMI leaf count; 0 = n/256.
+    size_t rmi_leaves = 0;
+  };
+
+  ClusteredColumnIndex() = default;
+  explicit ClusteredColumnIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "Clustered"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override { return rmi_.MemoryUsageBytes(); }
+
+  size_t sort_dim() const { return sort_dim_; }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  Options options_;
+  size_t sort_dim_ = 0;
+  Rmi rmi_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_CLUSTERED_INDEX_H_

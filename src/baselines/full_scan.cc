@@ -1,0 +1,27 @@
+#include "baselines/full_scan.h"
+
+#include "common/timer.h"
+#include "query/scan_util.h"
+
+namespace flood {
+
+Status FullScanIndex::Build(const Table& table, const BuildContext& ctx) {
+  InitStorage(table, nullptr, ctx);
+  return Status::OK();
+}
+
+template <typename V>
+void FullScanIndex::ExecuteT(const Query& query, V& visitor,
+                             QueryStats* stats) const {
+  const Stopwatch total;
+  ScanRange(data_, query, 0, data_.num_rows(), /*exact=*/false,
+            FilteredDims(query), visitor, stats);
+  if (stats != nullptr) {
+    stats->scan_ns += total.ElapsedNanos();
+    stats->total_ns += total.ElapsedNanos();
+  }
+}
+
+FLOOD_DEFINE_EXECUTE_DISPATCH(FullScanIndex);
+
+}  // namespace flood

@@ -1,0 +1,27 @@
+#ifndef FLOOD_BASELINES_FULL_SCAN_H_
+#define FLOOD_BASELINES_FULL_SCAN_H_
+
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 1 (§7.2): visit every row, accessing only the filtered columns.
+/// The floor every index is measured against (Fig. 13b plots ratios to it).
+class FullScanIndex final : public StorageBackedIndex {
+ public:
+  std::string_view name() const override { return "FullScan"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override { return 0; }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_FULL_SCAN_H_

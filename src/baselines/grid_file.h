@@ -1,0 +1,62 @@
+#ifndef FLOOD_BASELINES_GRID_FILE_H_
+#define FLOOD_BASELINES_GRID_FILE_H_
+
+#include <vector>
+
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 3 (§7.2, App. A): Grid File (Nievergelt et al.). Space is
+/// divided into blocks by per-dimension split points ("linear scales")
+/// built incrementally; adjacent blocks share buckets of at most
+/// `page_size` points. A full bucket splits along an existing block
+/// boundary when one crosses it, otherwise a new split point is inserted at
+/// the midpoint of its region, cycling dimensions round-robin. Unlike
+/// Flood, columns are not workload-optimized and bucket contents are
+/// unsorted.
+///
+/// The paper notes construction "requires a long time on heavily skewed
+/// data" and omits those entries; Build mirrors that with a directory-size
+/// budget and returns FailedPrecondition when exceeded.
+class GridFileIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    size_t page_size = 1024;
+    /// Directory entries budget; skewed data trips this (paper: N/A cells).
+    size_t max_directory_entries = 1u << 22;
+  };
+
+  GridFileIndex() = default;
+  explicit GridFileIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "GridFile"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override;
+
+  size_t num_buckets() const { return bucket_range_.size(); }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  // Final (read-optimized) state: scales + dense directory of bucket ids +
+  // per-bucket physical ranges and data bounding boxes.
+  Options options_;
+  std::vector<std::vector<Value>> scales_;  ///< Split points per dim.
+  std::vector<uint32_t> directory_;         ///< Mixed-radix block -> bucket.
+  std::vector<size_t> dir_stride_;
+  std::vector<std::pair<size_t, size_t>> bucket_range_;
+  std::vector<Value> bucket_bounds_;        ///< [bucket][dim][0/1].
+
+  size_t BlockOf(size_t dim, Value v) const;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_GRID_FILE_H_

@@ -1,0 +1,69 @@
+#ifndef FLOOD_BASELINES_HYPEROCTREE_H_
+#define FLOOD_BASELINES_HYPEROCTREE_H_
+
+#include <vector>
+
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 6 (§7.2, App. A): recursively subdivides space equally into 2^d
+/// hyperoctants until each page holds at most `page_size` points. Children
+/// are stored sparsely (only populated octants materialize), pages are laid
+/// out by an in-order traversal, and every leaf keeps per-dimension min/max
+/// metadata plus its physical range.
+class HyperoctreeIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    size_t page_size = 1024;
+    int max_depth = 32;  ///< Subdivision guard for pathological data.
+  };
+
+  HyperoctreeIndex() = default;
+  explicit HyperoctreeIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "Hyperoctree"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override;
+
+  size_t num_leaves() const { return leaves_.size(); }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  struct Node {
+    bool is_leaf = false;
+    uint32_t leaf_id = 0;  ///< Valid when is_leaf.
+    /// Sparse child list: (octant code, node id), sorted by code.
+    std::vector<std::pair<uint32_t, uint32_t>> children;
+  };
+
+  struct Leaf {
+    size_t begin = 0;
+    size_t end = 0;
+    std::vector<Value> min;  ///< Per-dim data minimum within the page.
+    std::vector<Value> max;
+  };
+
+  /// Recursive build over row spans of `rows`; returns node id.
+  uint32_t BuildNode(const std::vector<std::vector<Value>>& cols,
+                     std::vector<RowId>& rows, size_t begin, size_t end,
+                     std::vector<Value>& box_lo, std::vector<Value>& box_hi,
+                     int depth, std::vector<RowId>& layout);
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+  std::vector<Value> root_lo_;
+  std::vector<Value> root_hi_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_HYPEROCTREE_H_

@@ -1,0 +1,68 @@
+#ifndef FLOOD_BASELINES_KD_TREE_H_
+#define FLOOD_BASELINES_KD_TREE_H_
+
+#include <vector>
+
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 7 (§7.2, App. A): k-d tree partitioning space at the median
+/// value of each dimension, dimensions cycled round-robin in order of
+/// decreasing workload selectivity. A dimension whose remaining points all
+/// share one value is dropped from further partitioning. Pages are laid out
+/// in in-order traversal order; leaves keep per-dim min/max and physical
+/// ranges.
+class KdTreeIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    size_t page_size = 1024;
+  };
+
+  KdTreeIndex() = default;
+  explicit KdTreeIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "KdTree"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override;
+
+  size_t num_leaves() const { return leaves_.size(); }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  struct Node {
+    int32_t split_dim = -1;  ///< -1 for leaves.
+    Value split_value = 0;   ///< Left: v < split_value; right: v >= split.
+    uint32_t left = 0;
+    uint32_t right = 0;
+    uint32_t leaf_id = 0;
+  };
+
+  struct Leaf {
+    size_t begin = 0;
+    size_t end = 0;
+    std::vector<Value> min;
+    std::vector<Value> max;
+  };
+
+  uint32_t BuildNode(const std::vector<std::vector<Value>>& cols,
+                     std::vector<RowId>& rows, size_t begin, size_t end,
+                     size_t order_pos, int dims_exhausted,
+                     std::vector<RowId>& layout);
+
+  Options options_;
+  std::vector<size_t> dim_order_;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_KD_TREE_H_

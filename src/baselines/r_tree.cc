@@ -1,0 +1,199 @@
+#include "baselines/r_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/timer.h"
+#include "query/scan_util.h"
+
+namespace flood {
+
+void RTreeIndex::StrTile(const std::vector<std::vector<Value>>& cols,
+                         std::vector<RowId>& rows, size_t begin, size_t end,
+                         size_t dim_pos, size_t target_leaves,
+                         std::vector<std::pair<size_t, size_t>>& leaf_spans) {
+  const size_t d = cols.size();
+  const size_t n = end - begin;
+  if (n == 0) return;
+  if (dim_pos + 1 >= d || target_leaves <= 1) {
+    // Final dimension: sort and chop into leaves.
+    std::sort(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+              rows.begin() + static_cast<std::ptrdiff_t>(end),
+              [&cols, dim_pos, d](RowId a, RowId b) {
+                const size_t dim = std::min(dim_pos, d - 1);
+                return cols[dim][static_cast<size_t>(a)] <
+                       cols[dim][static_cast<size_t>(b)];
+              });
+    for (size_t i = begin; i < end; i += options_.leaf_capacity) {
+      leaf_spans.emplace_back(i, std::min(end, i + options_.leaf_capacity));
+    }
+    return;
+  }
+
+  // Slab count: S = ceil(P^(1/k)) with k dims remaining (STR).
+  const size_t dims_remaining = d - dim_pos;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(
+             std::pow(static_cast<double>(target_leaves),
+                      1.0 / static_cast<double>(dims_remaining)))));
+  std::sort(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+            rows.begin() + static_cast<std::ptrdiff_t>(end),
+            [&cols, dim_pos](RowId a, RowId b) {
+              return cols[dim_pos][static_cast<size_t>(a)] <
+                     cols[dim_pos][static_cast<size_t>(b)];
+            });
+  const size_t per_slab = (n + slabs - 1) / slabs;
+  const size_t leaves_per_slab = (target_leaves + slabs - 1) / slabs;
+  for (size_t s = 0; s < slabs; ++s) {
+    const size_t sb = begin + s * per_slab;
+    if (sb >= end) break;
+    const size_t se = std::min(end, sb + per_slab);
+    StrTile(cols, rows, sb, se, dim_pos + 1, leaves_per_slab, leaf_spans);
+  }
+}
+
+Status RTreeIndex::Build(const Table& table, const BuildContext& ctx) {
+  const size_t n = table.num_rows();
+  const size_t d = table.num_dims();
+  if (n == 0) return Status::InvalidArgument("empty table");
+
+  std::vector<std::vector<Value>> cols(d);
+  for (size_t dim = 0; dim < d; ++dim) cols[dim] = table.DecodeColumn(dim);
+
+  std::vector<RowId> rows(n);
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<std::pair<size_t, size_t>> leaf_spans;
+  const size_t target_leaves =
+      (n + options_.leaf_capacity - 1) / options_.leaf_capacity;
+  StrTile(cols, rows, 0, n, 0, target_leaves, leaf_spans);
+  InitStorage(table, &rows, ctx);
+
+  // Leaf nodes with MBRs over the (reordered) data.
+  nodes_.clear();
+  mbr_.clear();
+  num_leaves_ = leaf_spans.size();
+  auto push_mbr = [this, d]() {
+    const uint32_t off = static_cast<uint32_t>(mbr_.size());
+    mbr_.resize(mbr_.size() + d * 2);
+    for (size_t dim = 0; dim < d; ++dim) {
+      mbr_[off + dim * 2] = kValueMax;
+      mbr_[off + dim * 2 + 1] = kValueMin;
+    }
+    return off;
+  };
+
+  std::vector<uint32_t> level;  // Node ids of the level being built.
+  for (const auto& [begin, end] : leaf_spans) {
+    Node node;
+    node.mbr_offset = push_mbr();
+    node.is_leaf_level = 1;
+    node.begin = begin;
+    node.end = end;
+    for (size_t dim = 0; dim < d; ++dim) {
+      Value mn = kValueMax;
+      Value mx = kValueMin;
+      data_.column(dim).ForEach(begin, end, [&](size_t, Value v) {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      });
+      mbr_[node.mbr_offset + dim * 2] = mn;
+      mbr_[node.mbr_offset + dim * 2 + 1] = mx;
+    }
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+
+  // Pack upper levels; children of one parent are consecutive in `level`.
+  height_ = 1;
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t i = 0; i < level.size(); i += options_.fanout) {
+      const size_t end_i = std::min(level.size(), i + options_.fanout);
+      Node parent;
+      parent.mbr_offset = push_mbr();
+      parent.is_leaf_level = 0;
+      parent.first_child = level[i];
+      parent.num_children = static_cast<uint32_t>(end_i - i);
+      for (size_t c = i; c < end_i; ++c) {
+        const Node& child = nodes_[level[c]];
+        for (size_t dim = 0; dim < d; ++dim) {
+          mbr_[parent.mbr_offset + dim * 2] =
+              std::min(mbr_[parent.mbr_offset + dim * 2],
+                       mbr_[child.mbr_offset + dim * 2]);
+          mbr_[parent.mbr_offset + dim * 2 + 1] =
+              std::max(mbr_[parent.mbr_offset + dim * 2 + 1],
+                       mbr_[child.mbr_offset + dim * 2 + 1]);
+        }
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(parent);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.empty() ? 0 : level[0];
+  return Status::OK();
+}
+
+template <typename V>
+void RTreeIndex::ExecuteT(const Query& query, V& visitor,
+                          QueryStats* stats) const {
+  const Stopwatch total;
+  const std::vector<size_t> check_dims = FilteredDims(query);
+
+  const Stopwatch index_time;
+  std::vector<std::pair<size_t, bool>> hits;  // (node id, contained)
+  std::vector<uint32_t> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[id];
+    if (stats != nullptr) ++stats->cells_visited;
+    bool intersects = true;
+    bool contained = true;
+    for (size_t dim : check_dims) {
+      const Value mn = mbr_[node.mbr_offset + dim * 2];
+      const Value mx = mbr_[node.mbr_offset + dim * 2 + 1];
+      const ValueRange& r = query.range(dim);
+      if (mx < r.lo || mn > r.hi) {
+        intersects = false;
+        break;
+      }
+      contained = contained && r.lo <= mn && mx <= r.hi;
+    }
+    if (!intersects) continue;
+    if (node.is_leaf_level) {
+      hits.emplace_back(id, contained);
+    } else {
+      for (uint32_t c = 0; c < node.num_children; ++c) {
+        stack.push_back(node.first_child + c);
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [this](const auto& a, const auto& b) {
+              return nodes_[a.first].begin < nodes_[b.first].begin;
+            });
+  if (stats != nullptr) stats->index_ns += index_time.ElapsedNanos();
+
+  const Stopwatch scan;
+  for (const auto& [id, contained] : hits) {
+    const Node& node = nodes_[id];
+    ScanRange(data_, query, node.begin, node.end, contained, check_dims,
+              visitor, stats);
+  }
+  if (stats != nullptr) {
+    stats->scan_ns += scan.ElapsedNanos();
+    stats->total_ns += total.ElapsedNanos();
+  }
+}
+
+size_t RTreeIndex::IndexSizeBytes() const {
+  return nodes_.size() * sizeof(Node) + mbr_.size() * sizeof(Value);
+}
+
+FLOOD_DEFINE_EXECUTE_DISPATCH(RTreeIndex);
+
+}  // namespace flood

@@ -1,0 +1,68 @@
+#ifndef FLOOD_BASELINES_R_TREE_H_
+#define FLOOD_BASELINES_R_TREE_H_
+
+#include <vector>
+
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 8 (§7.2): read-optimized, bulk-loaded R-tree. The paper
+/// benchmarks libspatialindex's R*-tree bulk-loaded for reads; offline we
+/// build our own with Sort-Tile-Recursive packing (the standard bulk-load
+/// that produces near-optimal read-only R-trees) and the usual recursive
+/// MBR-intersection search. Leaves are physical point ranges in tiling
+/// order. See DESIGN.md "Substitutions".
+class RTreeIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    size_t leaf_capacity = 256;
+    size_t fanout = 16;
+  };
+
+  RTreeIndex() = default;
+  explicit RTreeIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "RStarTree"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override;
+
+  size_t num_leaves() const { return num_leaves_; }
+  int height() const { return height_; }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  struct Node {
+    // MBR flattened as [dim][0=min,1=max] into mbr_ at mbr_offset.
+    uint32_t mbr_offset = 0;
+    uint32_t first_child = 0;  ///< Node id or leaf id (level 0).
+    uint32_t num_children = 0;
+    uint32_t is_leaf_level = 0;
+    size_t begin = 0;  ///< Physical range (leaves only).
+    size_t end = 0;
+  };
+
+  /// Recursive STR tiling of rows[begin:end) by dims[dim_pos:].
+  void StrTile(const std::vector<std::vector<Value>>& cols,
+               std::vector<RowId>& rows, size_t begin, size_t end,
+               size_t dim_pos, size_t target_leaves,
+               std::vector<std::pair<size_t, size_t>>& leaf_spans);
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<Value> mbr_;
+  uint32_t root_ = 0;
+  size_t num_leaves_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_R_TREE_H_

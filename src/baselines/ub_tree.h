@@ -1,0 +1,50 @@
+#ifndef FLOOD_BASELINES_UB_TREE_H_
+#define FLOOD_BASELINES_UB_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/zorder_curve.h"
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 5 (§7.2, App. A): the UB-tree also orders points by Z-value,
+/// but during a query it detects when the curve leaves the query rectangle
+/// and uses the BIGMIN ("next Z-value in box") computation to jump ahead,
+/// avoiding the Z-order index's in-between pages at the cost of computing
+/// Z-codes while scanning.
+class UbTreeIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    size_t page_size = 1024;
+  };
+
+  UbTreeIndex() = default;
+  explicit UbTreeIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "UBtree"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override {
+    return z_.size() * sizeof(uint64_t) + sizeof(ZOrderMapper);
+  }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  std::pair<uint64_t, uint64_t> QueryCorners(const Query& query) const;
+
+  Options options_;
+  std::unique_ptr<ZOrderMapper> mapper_;
+  std::vector<uint64_t> z_;  // Sorted per-row Z-codes (the UB-tree keys).
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_UB_TREE_H_

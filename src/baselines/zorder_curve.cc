@@ -1,0 +1,92 @@
+#include "baselines/zorder_curve.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace flood {
+
+ZOrderCurve::ZOrderCurve(size_t num_dims) : num_dims_(num_dims) {
+  FLOOD_CHECK(num_dims >= 1 && num_dims <= 64);
+  bits_per_dim_ = static_cast<uint32_t>(64 / num_dims);
+  // Cap per-dim bits at 32 so coordinates fit uint32 (d=1 would give 64).
+  bits_per_dim_ = std::min<uint32_t>(bits_per_dim_, 32);
+  total_bits_ = bits_per_dim_ * static_cast<uint32_t>(num_dims);
+  dim_mask_.resize(num_dims, 0);
+  for (size_t d = 0; d < num_dims; ++d) {
+    for (uint32_t b = 0; b < bits_per_dim_; ++b) {
+      dim_mask_[d] |= uint64_t{1} << (d + b * num_dims);
+    }
+  }
+}
+
+std::optional<uint64_t> ZOrderCurve::NextInBox(uint64_t z, uint64_t zmin,
+                                               uint64_t zmax) const {
+  // Tropf & Herzog (1981), generalized to d dimensions. Walk code bits from
+  // most to least significant, maintaining working copies of the box
+  // corners; "load" operations pin a dimension's remaining bits to the
+  // extreme values 10..0 / 01..1 within that dimension's bit track.
+  std::optional<uint64_t> bigmin;
+  uint64_t wmin = zmin;
+  uint64_t wmax = zmax;
+  for (uint32_t bit = total_bits_; bit-- > 0;) {
+    const size_t dim = bit % num_dims_;
+    const uint64_t bit_mask = uint64_t{1} << bit;
+    const uint64_t below = DimBitsBelow(dim, bit);
+    const int a = (z & bit_mask) ? 1 : 0;
+    const int b = (wmin & bit_mask) ? 1 : 0;
+    const int c = (wmax & bit_mask) ? 1 : 0;
+    const int pattern = a * 4 + b * 2 + c;
+    switch (pattern) {
+      case 0b000:
+        break;
+      case 0b001:
+        // Box straddles this bit; candidate BIGMIN begins with a 1 here.
+        bigmin = (wmin & ~below) | bit_mask;
+        wmax = (wmax & ~bit_mask) | below;  // load 01..1
+        break;
+      case 0b011:
+        // Everything in the box from here is > z: zmin is the answer.
+        return wmin;
+      case 0b100:
+        // z has left the box above the remaining range: saved candidate.
+        return bigmin;
+      case 0b101:
+        wmin = (wmin & ~below) | bit_mask;  // load 10..0
+        break;
+      case 0b111:
+        break;
+      case 0b010:
+      case 0b110:
+        // zmin > zmax in this dimension: malformed box.
+        FLOOD_DCHECK(false);
+        return std::nullopt;
+      default:
+        break;
+    }
+  }
+  return bigmin;
+}
+
+ZOrderMapper::ZOrderMapper(const Table& table, std::vector<size_t> dim_order)
+    : curve_(dim_order.size()), dim_order_(std::move(dim_order)) {
+  const size_t d = dim_order_.size();
+  min_.resize(d);
+  max_.resize(d);
+  shift_.resize(d);
+  max_coord_.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const size_t table_dim = dim_order_[i];
+    min_[i] = table.min_value(table_dim);
+    max_[i] = table.max_value(table_dim);
+    const uint64_t range = static_cast<uint64_t>(max_[i]) -
+                           static_cast<uint64_t>(min_[i]);
+    const int width = BitWidth(range);
+    const int excess = width - static_cast<int>(curve_.bits_per_dim());
+    shift_[i] = excess > 0 ? static_cast<uint32_t>(excess) : 0;
+    max_coord_[i] = static_cast<uint32_t>(
+        std::min<uint64_t>(range >> shift_[i], curve_.max_coord()));
+  }
+}
+
+}  // namespace flood

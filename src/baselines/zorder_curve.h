@@ -1,0 +1,135 @@
+#ifndef FLOOD_BASELINES_ZORDER_CURVE_H_
+#define FLOOD_BASELINES_ZORDER_CURVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// d-dimensional Morton (Z-order) encoding over 64-bit codes, following the
+/// paper's construction (App. A): each dimension contributes
+/// floor(64 / d) bits; dimension 0 (by convention the most selective)
+/// occupies the code's least-significant interleave track.
+///
+/// Also implements the Tropf–Herzog BIGMIN computation used by the UB-tree
+/// to skip ahead to the next Z-value inside a query box.
+class ZOrderCurve {
+ public:
+  /// `num_dims` in [1, 64].
+  explicit ZOrderCurve(size_t num_dims);
+
+  size_t num_dims() const { return num_dims_; }
+  uint32_t bits_per_dim() const { return bits_per_dim_; }
+
+  /// Max encodable coordinate (inclusive).
+  uint32_t max_coord() const {
+    return bits_per_dim_ >= 32
+               ? ~uint32_t{0}
+               : (uint32_t{1} << bits_per_dim_) - 1;
+  }
+
+  /// Interleaves coords[0..d) (each <= max_coord()) into a Z-code.
+  uint64_t Encode(const uint32_t* coords) const {
+    uint64_t z = 0;
+    for (size_t d = 0; d < num_dims_; ++d) {
+      uint32_t c = coords[d];
+      uint64_t bit = uint64_t{1} << d;
+      while (c != 0) {
+        if (c & 1) z |= bit;
+        c >>= 1;
+        bit <<= static_cast<uint32_t>(num_dims_);
+      }
+    }
+    return z;
+  }
+
+  /// Extracts the coordinate of dimension `dim` from a Z-code.
+  uint32_t Decode(uint64_t z, size_t dim) const {
+    uint32_t c = 0;
+    for (uint32_t b = 0; b < bits_per_dim_; ++b) {
+      if (z & (uint64_t{1} << (dim + b * num_dims_))) {
+        c |= uint32_t{1} << b;
+      }
+    }
+    return c;
+  }
+
+  /// True if z's coordinates are within the box [zmin, zmax] component-wise.
+  /// Works directly on masked codes: per-dimension bits of a Z-code compare
+  /// like ordinary integers under the dimension's mask.
+  bool InBox(uint64_t z, uint64_t zmin, uint64_t zmax) const {
+    for (size_t d = 0; d < num_dims_; ++d) {
+      const uint64_t m = dim_mask_[d];
+      const uint64_t zd = z & m;
+      if (zd < (zmin & m) || zd > (zmax & m)) return false;
+    }
+    return true;
+  }
+
+  /// BIGMIN: the smallest Z-code strictly inside the box [zmin, zmax]
+  /// (component-wise) that is greater than `z`. Returns nullopt when no such
+  /// code exists. Standard precondition: zmin/zmax encode the box corners.
+  std::optional<uint64_t> NextInBox(uint64_t z, uint64_t zmin,
+                                    uint64_t zmax) const;
+
+ private:
+  /// Bits of the code belonging to `dim`, at positions < `below_bit`.
+  uint64_t DimBitsBelow(size_t dim, uint32_t below_bit) const {
+    return dim_mask_[dim] & ((below_bit >= 64)
+                                 ? ~uint64_t{0}
+                                 : ((uint64_t{1} << below_bit) - 1));
+  }
+
+  size_t num_dims_;
+  uint32_t bits_per_dim_;
+  uint32_t total_bits_;
+  std::vector<uint64_t> dim_mask_;
+};
+
+/// Maps raw attribute values onto the curve's coordinate grid: coordinates
+/// are (v - min) >> shift with shift chosen so the dimension's full range
+/// fits in bits_per_dim (App. A: "taking the first floor(64/d) bits of each
+/// dimension's value").
+class ZOrderMapper {
+ public:
+  ZOrderMapper(const Table& table, std::vector<size_t> dim_order);
+
+  const ZOrderCurve& curve() const { return curve_; }
+  const std::vector<size_t>& dim_order() const { return dim_order_; }
+
+  /// Coordinate of a raw value in curve dimension `curve_dim`.
+  uint32_t ToCoord(size_t curve_dim, Value v) const {
+    const Value lo = min_[curve_dim];
+    const Value hi = max_[curve_dim];
+    if (v <= lo) return 0;
+    if (v >= hi) return max_coord_[curve_dim];
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(v) - static_cast<uint64_t>(lo)) >>
+        shift_[curve_dim]);
+  }
+
+  /// Z-code for a table row (values given in curve-dimension order).
+  uint64_t EncodeValues(const Value* values) const {
+    uint32_t coords[64];
+    for (size_t d = 0; d < curve_.num_dims(); ++d) {
+      coords[d] = ToCoord(d, values[d]);
+    }
+    return curve_.Encode(coords);
+  }
+
+ private:
+  ZOrderCurve curve_;
+  std::vector<size_t> dim_order_;  // curve dim -> table dim
+  std::vector<Value> min_;
+  std::vector<Value> max_;
+  std::vector<uint32_t> shift_;
+  std::vector<uint32_t> max_coord_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_ZORDER_CURVE_H_

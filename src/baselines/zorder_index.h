@@ -1,0 +1,51 @@
+#ifndef FLOOD_BASELINES_ZORDER_INDEX_H_
+#define FLOOD_BASELINES_ZORDER_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/zorder_curve.h"
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Baseline 4 (§7.2, App. A): points sorted by Z-order value, contiguous
+/// chunks grouped into pages; each page stores per-dimension min/max
+/// metadata. A query walks every page between the Z-codes of the query
+/// rectangle's corners and scans a page only if its min/max box intersects
+/// the query (Redshift-style Z-encoding).
+class ZOrderIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    size_t page_size = 1024;
+  };
+
+  ZOrderIndex() = default;
+  explicit ZOrderIndex(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "ZOrder"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override;
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  /// Z-codes of the query rectangle's corners, mapped through the curve.
+  std::pair<uint64_t, uint64_t> QueryCorners(const Query& query) const;
+
+  Options options_;
+  std::unique_ptr<ZOrderMapper> mapper_;
+  std::vector<uint64_t> page_min_z_;   // First Z-code in each page.
+  std::vector<size_t> page_begin_;     // Row offset of each page (+ end).
+  std::vector<Value> page_bounds_;     // [page][dim][0=min,1=max] flattened.
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_BASELINES_ZORDER_INDEX_H_

@@ -1,0 +1,27 @@
+#ifndef FLOOD_COMMON_MACROS_H_
+#define FLOOD_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// FLOOD_CHECK(cond): always-on invariant check; aborts with location info.
+// Used at module boundaries and in cold paths. Hot loops should prefer
+// FLOOD_DCHECK, which compiles away in NDEBUG builds.
+#define FLOOD_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FLOOD_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define FLOOD_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define FLOOD_DCHECK(cond) FLOOD_CHECK(cond)
+#endif
+
+#endif  // FLOOD_COMMON_MACROS_H_

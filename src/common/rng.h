@@ -1,0 +1,85 @@
+#ifndef FLOOD_COMMON_RNG_H_
+#define FLOOD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace flood {
+
+// Deterministic pseudo-random number generation for data/workload synthesis
+// and ML. Uses xoshiro256++ (public-domain algorithm by Blackman & Vigna):
+// fast, high quality, and reproducible across platforms, unlike
+// implementation-defined std::default_random_engine behaviour.
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator so it can also
+/// drive <random> distributions if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the engine with SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller, cached pair).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Lognormal variate: exp(Gaussian(mu, sigma)).
+  double Lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Splits off an independently-seeded child generator. Useful for giving
+  /// each column/worker its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1} via inverse-CDF
+/// lookup on a precomputed table. Rank 0 is the most frequent value.
+class ZipfGenerator {
+ public:
+  /// `n` is the universe size, `s` the skew exponent (s > 0; larger = more
+  /// skewed; s ~ 1 is classic Zipf).
+  ZipfGenerator(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t universe_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_COMMON_RNG_H_

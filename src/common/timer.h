@@ -1,0 +1,41 @@
+#ifndef FLOOD_COMMON_TIMER_H_
+#define FLOOD_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flood {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Milliseconds elapsed, as a double (for reporting).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Seconds elapsed, as a double (for reporting).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_COMMON_TIMER_H_

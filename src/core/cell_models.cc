@@ -1,0 +1,33 @@
+#include "core/cell_models.h"
+
+#include "common/macros.h"
+
+namespace flood {
+
+void CellModels::Build(const std::vector<Value>& sort_values,
+                       const std::vector<uint32_t>& offsets,
+                       size_t min_cell_size, double delta) {
+  FLOOD_CHECK(!offsets.empty());
+  const size_t num_cells = offsets.size() - 1;
+  model_id_.assign(num_cells, -1);
+  plms_.clear();
+
+  std::vector<Value> cell_values;
+  for (size_t c = 0; c < num_cells; ++c) {
+    const size_t begin = offsets[c];
+    const size_t end = offsets[c + 1];
+    if (end - begin < min_cell_size) continue;
+    cell_values.assign(sort_values.begin() + begin,
+                       sort_values.begin() + end);
+    model_id_[c] = static_cast<int32_t>(plms_.size());
+    plms_.push_back(Plm::Train(cell_values, delta));
+  }
+}
+
+size_t CellModels::MemoryUsageBytes() const {
+  size_t bytes = model_id_.size() * sizeof(int32_t);
+  for (const auto& plm : plms_) bytes += plm.MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace flood

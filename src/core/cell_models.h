@@ -1,0 +1,50 @@
+#ifndef FLOOD_CORE_CELL_MODELS_H_
+#define FLOOD_CORE_CELL_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "learned/plm.h"
+#include "storage/column.h"
+
+namespace flood {
+
+/// Per-cell CDF models over the sort dimension (§5.2). Each sufficiently
+/// large cell owns a PLM predicting positions within the cell; small cells
+/// fall back to binary search (building a model would cost more than it
+/// saves). This container dominates Flood's index size (§7.4: "over 95%"),
+/// so it tracks its own footprint.
+class CellModels {
+ public:
+  CellModels() = default;
+
+  /// Builds models for each cell of `sort_values` (in storage order).
+  /// `offsets` has num_cells + 1 entries; cell c spans
+  /// [offsets[c], offsets[c+1]). Cells smaller than `min_cell_size` get no
+  /// model. `delta` is the PLM average-error budget.
+  void Build(const std::vector<Value>& sort_values,
+             const std::vector<uint32_t>& offsets, size_t min_cell_size,
+             double delta);
+
+  /// True if cell `c` has a trained model.
+  bool HasModel(size_t c) const {
+    return c < model_id_.size() && model_id_[c] >= 0;
+  }
+
+  /// Lower-bound estimate of the *cell-relative* rank of the first value
+  /// >= v in cell `c`. Requires HasModel(c).
+  size_t Predict(size_t c, Value v) const {
+    return plms_[static_cast<size_t>(model_id_[c])].Predict(v);
+  }
+
+  size_t num_models() const { return plms_.size(); }
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<int32_t> model_id_;  // -1 = no model.
+  std::vector<Plm> plms_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_CELL_MODELS_H_

@@ -1,0 +1,159 @@
+#ifndef FLOOD_CORE_COST_MODEL_H_
+#define FLOOD_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/grid_layout.h"
+#include "ml/linear_regression.h"
+#include "ml/random_forest.h"
+#include "query/query_stats.h"
+#include "query/workload.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// Flood's learned cost model (§4.1):
+///
+///   Time(D, q, L) = w_p * Nc + w_r * Nc + w_s * Ns            (Eq. 1)
+///
+/// The weights are *not* constants — they depend non-linearly on measurable
+/// statistics (Fig. 5) — so each weight is predicted by a model over a
+/// feature vector. Calibration (§4.1.1) runs an instrumented Flood over
+/// random layouts, producing one training example per (query, layout).
+///
+/// Three predictor families are kept for the §4.1.2 ablation: an analytic
+/// constant-weight model, linear regression, and the random forest Flood
+/// actually uses.
+class CostModel {
+ public:
+  enum class Predictor { kConstant, kLinear, kForest };
+
+  /// The measurable statistics feeding the weight models. The same
+  /// definitions are computed two ways: *measured* from QueryStats during
+  /// calibration, and *estimated* from samples during layout optimization.
+  struct Features {
+    double nc = 0;                   ///< Cells intersecting the query.
+    double ns = 0;                   ///< Points scanned.
+    double total_cells = 1;          ///< Cells in the whole layout.
+    double avg_cell_size = 0;        ///< Rows / total cells.
+    double dims_filtered = 0;
+    double sort_filtered = 0;        ///< 1 if the sort dim is filtered.
+    double avg_visited_per_cell = 0; ///< ns / max(nc, 1).
+    double exact_fraction = 0;       ///< Exact-range points / ns.
+    double avg_run_length = 0;       ///< ns / scan ranges.
+
+    std::vector<double> ToVector() const;
+
+    /// Builds measured features from per-query stats.
+    static Features FromStats(const QueryStats& stats, const Query& query,
+                              const GridLayout& layout, size_t table_rows);
+  };
+
+  /// One calibration example: features plus the empirical weights
+  /// w_p = index_ns/Nc, w_r = refine_ns/Nc, w_s = scan_ns/Ns.
+  struct Example {
+    Features features;
+    double wp = 0;
+    double wr = 0;
+    double ws = 0;
+    double total_ns = 0;  ///< For ablation: direct time prediction target.
+  };
+
+  struct CalibrationOptions {
+    size_t num_layouts = 8;     ///< Paper found 10 random layouts suffice.
+    size_t max_queries = 150;
+    uint64_t max_cells = uint64_t{1} << 18;
+    uint64_t seed = 1;
+    Predictor predictor = Predictor::kForest;
+    RandomForest::Params forest;
+  };
+
+  CostModel() = default;
+
+  /// Analytic fallback with fixed weights (§4.1.2's "simple analytical
+  /// model... with fine-tuned constants").
+  static CostModel Default();
+
+  /// Full calibration pipeline: random layouts -> instrumented runs ->
+  /// weight-model training. The dataset/workload can be synthetic — weights
+  /// calibrate to the *hardware*, not the data (§7.6, Tab. 3).
+  static StatusOr<CostModel> Calibrate(const Table& table,
+                                       const Workload& workload,
+                                       const CalibrationOptions& options);
+
+  /// Generates calibration examples without training (exposed for tests
+  /// and the §4.1.2 ablation bench).
+  static StatusOr<std::vector<Example>> GenerateExamples(
+      const Table& table, const Workload& workload,
+      const CalibrationOptions& options);
+
+  /// Trains weight models of the requested family from examples.
+  static CostModel Train(const std::vector<Example>& examples,
+                         Predictor predictor,
+                         const RandomForest::Params& forest_params = {},
+                         uint64_t seed = 1);
+
+  double PredictWp(const Features& f) const;
+  double PredictWr(const Features& f) const;
+  double PredictWs(const Features& f) const;
+
+  /// Eq. 1, with w_r forced to zero when the sort dimension is unfiltered.
+  double PredictQueryTimeNs(const Features& f) const;
+
+  Predictor predictor() const { return predictor_; }
+
+ private:
+  Predictor predictor_ = Predictor::kConstant;
+  // kConstant:
+  double const_wp_ = 30.0;
+  double const_wr_ = 120.0;
+  double const_ws_ = 3.0;
+  // kLinear:
+  LinearRegression lin_wp_;
+  LinearRegression lin_wr_;
+  LinearRegression lin_ws_;
+  // kForest:
+  RandomForest rf_wp_;
+  RandomForest rf_wr_;
+  RandomForest rf_ws_;
+};
+
+/// §8 "Shifting workloads": tracks an exponentially-weighted average of
+/// observed query cost against the cost measured right after (re)training
+/// and signals when the layout has gone stale.
+class CostMonitor {
+ public:
+  explicit CostMonitor(double degradation_threshold = 2.0,
+                       double ewma_alpha = 0.05)
+      : threshold_(degradation_threshold), alpha_(ewma_alpha) {}
+
+  /// Resets the baseline (call after retraining the layout).
+  void Rebase(double baseline_ns) {
+    baseline_ns_ = baseline_ns;
+    ewma_ns_ = baseline_ns;
+  }
+
+  /// Records one query's observed time.
+  void Observe(double query_ns) {
+    ewma_ns_ = alpha_ * query_ns + (1.0 - alpha_) * ewma_ns_;
+  }
+
+  /// True when the rolling cost exceeds threshold x baseline.
+  bool ShouldRetrain() const {
+    return baseline_ns_ > 0 && ewma_ns_ > threshold_ * baseline_ns_;
+  }
+
+  double ewma_ns() const { return ewma_ns_; }
+  double baseline_ns() const { return baseline_ns_; }
+
+ private:
+  double threshold_;
+  double alpha_;
+  double baseline_ns_ = 0;
+  double ewma_ns_ = 0;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_COST_MODEL_H_

@@ -1,0 +1,33 @@
+#include "core/delta_buffer.h"
+
+namespace flood {
+
+Status DeltaBuffer::Insert(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t dim = 0; dim < columns_.size(); ++dim) {
+    columns_[dim].push_back(row[dim]);
+  }
+  return Status::OK();
+}
+
+StatusOr<Table> DeltaBuffer::MergeInto(const Table& main) {
+  if (main.num_dims() != columns_.size()) {
+    return Status::InvalidArgument("table arity mismatch");
+  }
+  std::vector<std::vector<Value>> cols(columns_.size());
+  std::vector<std::string> names;
+  for (size_t dim = 0; dim < columns_.size(); ++dim) {
+    cols[dim] = main.DecodeColumn(dim);
+    cols[dim].insert(cols[dim].end(), columns_[dim].begin(),
+                     columns_[dim].end());
+    names.push_back(main.name(dim));
+  }
+  StatusOr<Table> merged = Table::FromColumns(
+      std::move(cols), main.column(0).encoding(), std::move(names));
+  if (merged.ok()) Clear();
+  return merged;
+}
+
+}  // namespace flood

@@ -1,0 +1,77 @@
+#ifndef FLOOD_CORE_DELTA_BUFFER_H_
+#define FLOOD_CORE_DELTA_BUFFER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "query/query_stats.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// §8 "Insertions": a row-oriented write buffer in front of the read-only
+/// index, in the spirit of differential files / Bigtable memtables. Queries
+/// consult the main index plus a linear pass over the (small) buffer;
+/// MergeInto materializes a new table for a rebuild once the buffer grows
+/// past the caller's threshold.
+class DeltaBuffer {
+ public:
+  explicit DeltaBuffer(size_t num_dims) : columns_(num_dims) {}
+
+  size_t num_dims() const { return columns_.size(); }
+  size_t size() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  /// Appends one row. `row` must have num_dims() values.
+  Status Insert(const std::vector<Value>& row);
+
+  /// Feeds buffered rows matching `query` to `visitor`. Buffered rows are
+  /// addressed as base_row_id + i so they do not collide with main-index
+  /// row ids.
+  template <typename V>
+  void Scan(const Query& query, V& visitor, RowId base_row_id,
+            QueryStats* stats) const {
+    const size_t n = size();
+    if (stats != nullptr) {
+      stats->points_scanned += n;
+      if (n > 0) ++stats->ranges_scanned;
+    }
+    size_t matched = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool ok = true;
+      for (size_t dim = 0; dim < columns_.size() && dim < query.num_dims();
+           ++dim) {
+        if (!query.IsFiltered(dim)) continue;
+        if (!query.range(dim).Contains(columns_[dim][i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        visitor.VisitRow(base_row_id + i);
+        ++matched;
+      }
+    }
+    if (stats != nullptr) stats->points_matched += matched;
+  }
+
+  /// Value accessor for buffered rows (dim-major storage).
+  Value Get(size_t row, size_t dim) const { return columns_[dim][row]; }
+
+  /// Concatenates `main` and the buffer into a fresh table (rebuild input),
+  /// then clears the buffer.
+  StatusOr<Table> MergeInto(const Table& main);
+
+  void Clear() {
+    for (auto& c : columns_) c.clear();
+  }
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_DELTA_BUFFER_H_

@@ -1,0 +1,61 @@
+#include "core/flattener.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace flood {
+
+Flattener Flattener::Train(const Table& table, Mode mode, size_t sample_size,
+                           uint64_t seed, size_t rmi_leaves) {
+  std::vector<Value> dim_min(table.num_dims());
+  std::vector<Value> dim_max(table.num_dims());
+  for (size_t d = 0; d < table.num_dims(); ++d) {
+    dim_min[d] = table.min_value(d);
+    dim_max[d] = table.max_value(d);
+  }
+  const DataSample sample = DataSample::FromTable(table, sample_size, seed);
+  return TrainFromSample(sample, dim_min, dim_max, mode, rmi_leaves);
+}
+
+Flattener Flattener::TrainFromSample(const DataSample& sample,
+                                     const std::vector<Value>& dim_min,
+                                     const std::vector<Value>& dim_max,
+                                     Mode mode, size_t rmi_leaves) {
+  Flattener f;
+  f.mode_ = mode;
+  const size_t d = sample.num_dims();
+  FLOOD_CHECK(dim_min.size() == d && dim_max.size() == d);
+  if (mode == Mode::kLinear) {
+    f.min_ = dim_min;
+    f.max_ = dim_max;
+    return f;
+  }
+  f.cdfs_.reserve(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    f.cdfs_.push_back(Rmi::Train(sample.sorted(dim), rmi_leaves));
+  }
+  return f;
+}
+
+double Flattener::ToUnit(size_t dim, Value v) const {
+  if (mode_ == Mode::kCdf) {
+    FLOOD_DCHECK(dim < cdfs_.size());
+    return cdfs_[dim].Cdf(v);
+  }
+  FLOOD_DCHECK(dim < min_.size());
+  const double lo = static_cast<double>(min_[dim]);
+  const double hi = static_cast<double>(max_[dim]);
+  if (hi <= lo) return 0.0;
+  const double u = (static_cast<double>(v) - lo) / (hi - lo + 1.0);
+  return Clamp(u, 0.0, 1.0);
+}
+
+size_t Flattener::MemoryUsageBytes() const {
+  size_t bytes = sizeof(Flattener);
+  for (const auto& r : cdfs_) bytes += r.MemoryUsageBytes();
+  bytes += (min_.size() + max_.size()) * sizeof(Value);
+  return bytes;
+}
+
+}  // namespace flood

@@ -1,0 +1,64 @@
+#ifndef FLOOD_CORE_FLATTENER_H_
+#define FLOOD_CORE_FLATTENER_H_
+
+#include <vector>
+
+#include "learned/rmi.h"
+#include "query/workload.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// Per-dimension CDF models projecting skewed attributes into a near-
+/// uniform [0, 1] space (§5.1 "flattening"). A point with value v in
+/// dimension k lands in column floor(Cdf_k(v) * n_cols).
+///
+/// Correctness of Flood's interior-column reasoning requires each model to
+/// be monotone, which Rmi guarantees (see learned/rmi.h). The kLinear mode
+/// spaces columns equally across the raw value range — the paper's
+/// non-flattened ablation (Fig. 11).
+class Flattener {
+ public:
+  enum class Mode {
+    kCdf,     ///< RMI-learned empirical CDF (flattened layout).
+    kLinear,  ///< Equal-width columns over [min, max].
+  };
+
+  Flattener() = default;
+
+  /// Trains one model per dimension from a row sample of `table`.
+  static Flattener Train(const Table& table, Mode mode, size_t sample_size,
+                         uint64_t seed, size_t rmi_leaves = 64);
+
+  /// Same, reusing a prepared sample (optimizer path).
+  static Flattener TrainFromSample(const DataSample& sample,
+                                   const std::vector<Value>& dim_min,
+                                   const std::vector<Value>& dim_max,
+                                   Mode mode, size_t rmi_leaves = 64);
+
+  /// Monotone map of `v` into [0, 1] for dimension `dim`.
+  double ToUnit(size_t dim, Value v) const;
+
+  /// Column of `v` under `num_columns` columns (clamped to range).
+  uint32_t ColumnOf(size_t dim, Value v, uint32_t num_columns) const {
+    const double u = ToUnit(dim, v);
+    const uint32_t col = static_cast<uint32_t>(
+        u * static_cast<double>(num_columns));
+    return col >= num_columns ? num_columns - 1 : col;
+  }
+
+  Mode mode() const { return mode_; }
+  size_t num_dims() const { return mode_ == Mode::kCdf ? cdfs_.size()
+                                                       : min_.size(); }
+  size_t MemoryUsageBytes() const;
+
+ private:
+  Mode mode_ = Mode::kLinear;
+  std::vector<Rmi> cdfs_;    // kCdf
+  std::vector<Value> min_;   // kLinear
+  std::vector<Value> max_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_FLATTENER_H_

@@ -1,0 +1,310 @@
+#include "core/flood_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "learned/search_util.h"
+#include "query/scan_util.h"
+
+namespace flood {
+
+Status FloodIndex::Build(const Table& table, const BuildContext& ctx) {
+  const size_t n = table.num_rows();
+  const size_t d = table.num_dims();
+  if (n == 0) return Status::InvalidArgument("empty table");
+
+  layout_ = options_.layout;
+  if (layout_.dim_order.empty()) {
+    layout_ = GridLayout::Default(d, std::max<uint64_t>(1, n / 1024));
+  }
+  if (!layout_.IsValid(d)) {
+    return Status::InvalidArgument("invalid layout: " + layout_.ToString());
+  }
+  num_cells_ = layout_.NumCells();
+  if (num_cells_ > options_.max_cells) {
+    return Status::InvalidArgument("layout exceeds max_cells budget");
+  }
+
+  flattener_ =
+      Flattener::Train(table, options_.flatten_mode,
+                       options_.flatten_sample_size, options_.seed,
+                       options_.flatten_rmi_leaves);
+
+  // Cell-id strides: first grid dimension slowest (depth-first traversal
+  // order of §3.1).
+  const size_t k = layout_.NumGridDims();
+  strides_.assign(k, 1);
+  for (size_t i = k; i-- > 1;) {
+    strides_[i - 1] = strides_[i] * layout_.columns[i];
+  }
+
+  // Assign each row to a cell.
+  std::vector<uint32_t> cell_of(n, 0);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t dim = layout_.grid_dim(i);
+    const uint32_t cols = layout_.columns[i];
+    const uint64_t stride = strides_[i];
+    if (cols == 1) continue;  // Dimension excluded from the grid.
+    const std::vector<Value> values = table.DecodeColumn(dim);
+    for (size_t r = 0; r < n; ++r) {
+      cell_of[r] += static_cast<uint32_t>(
+          flattener_.ColumnOf(dim, values[r], cols) * stride);
+    }
+  }
+
+  // Order rows by (cell, sort value).
+  std::vector<RowId> perm(n);
+  std::iota(perm.begin(), perm.end(), RowId{0});
+  if (layout_.use_sort_dim) {
+    const std::vector<Value> sort_values =
+        table.DecodeColumn(layout_.sort_dim());
+    std::sort(perm.begin(), perm.end(), [&](RowId a, RowId b) {
+      const size_t ia = static_cast<size_t>(a);
+      const size_t ib = static_cast<size_t>(b);
+      if (cell_of[ia] != cell_of[ib]) return cell_of[ia] < cell_of[ib];
+      if (sort_values[ia] != sort_values[ib]) {
+        return sort_values[ia] < sort_values[ib];
+      }
+      return a < b;
+    });
+  } else {
+    std::sort(perm.begin(), perm.end(), [&](RowId a, RowId b) {
+      const size_t ia = static_cast<size_t>(a);
+      const size_t ib = static_cast<size_t>(b);
+      if (cell_of[ia] != cell_of[ib]) return cell_of[ia] < cell_of[ib];
+      return a < b;
+    });
+  }
+  InitStorage(table, &perm, ctx);
+
+  // Cell table (§3.2.1): physical offset of each cell's first point.
+  offsets_.assign(num_cells_ + 1, 0);
+  for (size_t r = 0; r < n; ++r) offsets_[cell_of[r] + 1] += 1;
+  for (size_t c = 0; c < num_cells_; ++c) offsets_[c + 1] += offsets_[c];
+
+  // Per-cell refinement models over the sort dimension (§5.2).
+  cell_models_ = CellModels();
+  if (layout_.use_sort_dim && options_.use_cell_models) {
+    const std::vector<Value> sort_values =
+        data_.DecodeColumn(layout_.sort_dim());
+    cell_models_.Build(sort_values, offsets_, options_.plm_min_cell_size,
+                       options_.plm_delta);
+  }
+  return Status::OK();
+}
+
+void FloodIndex::Refine(size_t c, const ValueRange& r, size_t begin,
+                        size_t end, size_t* out_begin,
+                        size_t* out_end) const {
+  const Column& col = data_.column(layout_.sort_dim());
+  const auto get = [&col](size_t i) { return col.Get(i); };
+  size_t rs;
+  size_t re;
+  if (cell_models_.HasModel(c)) {
+    // PLM predictions are lower bounds (Plm invariant), so rectification
+    // only ever searches forward.
+    rs = GallopLowerBound(get, begin + cell_models_.Predict(c, r.lo), end,
+                          r.lo);
+    re = GallopUpperBound(get, begin + cell_models_.Predict(c, r.hi), end,
+                          r.hi);
+  } else {
+    rs = BinaryLowerBound(get, begin, end, r.lo);
+    re = BinaryUpperBound(get, rs, end, r.hi);
+  }
+  if (re < rs) re = rs;
+  *out_begin = rs;
+  *out_end = re;
+}
+
+template <typename V>
+void FloodIndex::ExecuteT(const Query& query, V& visitor,
+                          QueryStats* stats) const {
+  const Stopwatch total;
+  const size_t k = layout_.NumGridDims();
+
+  // ---- Projection (§3.2.1) ----------------------------------------------
+  const Stopwatch projection;
+  DimSpan spans[64];
+  FLOOD_DCHECK(k <= 64);
+  uint64_t nc = 1;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t dim = layout_.grid_dim(i);
+    DimSpan& s = spans[i];
+    s.filtered = dim < query.num_dims() && query.IsFiltered(dim);
+    const uint32_t cols = layout_.columns[i];
+    if (s.filtered) {
+      const ValueRange& r = query.range(dim);
+      if (r.IsEmpty()) {
+        if (stats != nullptr) {
+          stats->index_ns += projection.ElapsedNanos();
+          stats->total_ns += total.ElapsedNanos();
+        }
+        return;
+      }
+      s.lo = flattener_.ColumnOf(dim, r.lo, cols);
+      s.hi = flattener_.ColumnOf(dim, r.hi, cols);
+    } else {
+      s.lo = 0;
+      s.hi = cols - 1;
+    }
+    nc *= s.hi - s.lo + 1;
+  }
+  const bool sort_filtered =
+      layout_.use_sort_dim && layout_.sort_dim() < query.num_dims() &&
+      query.IsFiltered(layout_.sort_dim());
+  const ValueRange sort_range =
+      sort_filtered ? query.range(layout_.sort_dim()) : ValueRange{};
+  if (sort_filtered && sort_range.IsEmpty()) {
+    if (stats != nullptr) stats->total_ns += total.ElapsedNanos();
+    return;
+  }
+  if (stats != nullptr) stats->cells_visited += nc;
+
+  // Check-dim set table: one entry per distinct boundary combination seen.
+  std::vector<std::vector<size_t>> check_sets;
+  auto intern_check_set = [&check_sets](std::vector<size_t>&& dims) {
+    for (size_t i = 0; i < check_sets.size(); ++i) {
+      if (check_sets[i] == dims) return static_cast<uint16_t>(i);
+    }
+    check_sets.push_back(std::move(dims));
+    return static_cast<uint16_t>(check_sets.size() - 1);
+  };
+
+  std::vector<ScanTask> tasks;
+  int64_t refine_ns = 0;
+
+  // Odometer over the outer grid dimensions [0, k-1); the innermost
+  // dimension is emitted as up to three segments (boundary / merged
+  // interior / boundary), which keeps physically-adjacent interior cells in
+  // single runs when no refinement applies.
+  uint32_t col[64];
+  for (size_t i = 0; i < k; ++i) col[i] = spans[i].lo;
+  const size_t inner = k > 0 ? k - 1 : 0;
+
+  std::vector<size_t> outer_check;
+  while (true) {
+    uint64_t base = 0;
+    outer_check.clear();
+    for (size_t i = 0; i + 1 < k; ++i) {
+      base += static_cast<uint64_t>(col[i]) * strides_[i];
+      if (spans[i].filtered &&
+          (col[i] == spans[i].lo || col[i] == spans[i].hi)) {
+        outer_check.push_back(layout_.grid_dim(i));
+      }
+    }
+
+    // Innermost-dimension segments: [lo..lo], [lo+1..hi-1], [hi..hi].
+    struct Segment {
+      uint32_t a;
+      uint32_t b;
+      bool boundary;
+    };
+    Segment segments[3];
+    size_t num_segments = 0;
+    if (k == 0) {
+      segments[num_segments++] = {0, 0, false};
+    } else {
+      const DimSpan& s = spans[inner];
+      if (!s.filtered) {
+        segments[num_segments++] = {s.lo, s.hi, false};
+      } else if (s.lo == s.hi) {
+        segments[num_segments++] = {s.lo, s.lo, true};
+      } else {
+        segments[num_segments++] = {s.lo, s.lo, true};
+        if (s.lo + 1 <= s.hi - 1) {
+          segments[num_segments++] = {s.lo + 1, s.hi - 1, false};
+        }
+        segments[num_segments++] = {s.hi, s.hi, true};
+      }
+    }
+    for (size_t seg = 0; seg < num_segments; ++seg) {
+      const Segment& sg = segments[seg];
+      std::vector<size_t> dims = outer_check;
+      if (sg.boundary) dims.push_back(layout_.grid_dim(inner));
+      std::sort(dims.begin(), dims.end());
+      const uint16_t set_id = intern_check_set(std::move(dims));
+
+      const uint64_t first_cell = base + sg.a;
+      const uint64_t last_cell = base + sg.b;
+      if (sort_filtered) {
+        // Per-cell refinement (ranges are per-cell sorted runs).
+        const Stopwatch refine_sw;
+        for (uint64_t c = first_cell; c <= last_cell; ++c) {
+          const size_t begin = offsets_[c];
+          const size_t end = offsets_[c + 1];
+          if (begin == end) continue;
+          size_t rb;
+          size_t re;
+          Refine(c, sort_range, begin, end, &rb, &re);
+          if (rb < re) {
+            tasks.push_back({static_cast<uint32_t>(rb),
+                             static_cast<uint32_t>(re), set_id});
+          }
+        }
+        refine_ns += refine_sw.ElapsedNanos();
+      } else if (options_.enable_run_merging) {
+        // Merged contiguous run across the segment's cells.
+        const size_t begin = offsets_[first_cell];
+        const size_t end = offsets_[last_cell + 1];
+        if (begin < end) {
+          tasks.push_back({static_cast<uint32_t>(begin),
+                           static_cast<uint32_t>(end), set_id});
+        }
+      } else {
+        // Ablation: one scan task per cell, no coalescing.
+        for (uint64_t c = first_cell; c <= last_cell; ++c) {
+          if (offsets_[c] < offsets_[c + 1]) {
+            tasks.push_back({offsets_[c], offsets_[c + 1], set_id});
+          }
+        }
+      }
+    }
+
+    // Advance the odometer (outer dims only).
+    if (k <= 1) break;
+    size_t i = k - 1;
+    bool done = true;
+    while (i-- > 0) {
+      if (++col[i] <= spans[i].hi) {
+        done = false;
+        break;
+      }
+      col[i] = spans[i].lo;
+    }
+    if (done) break;
+  }
+
+  if (stats != nullptr) {
+    stats->index_ns += projection.ElapsedNanos() - refine_ns;
+    stats->refine_ns += refine_ns;
+  }
+
+  // ---- Scan (§3.2 step 3) -------------------------------------------------
+  const Stopwatch scan;
+  const std::vector<size_t> all_filtered =
+      options_.enable_exact_ranges ? std::vector<size_t>()
+                                   : FilteredDims(query);
+  for (const ScanTask& task : tasks) {
+    const std::vector<size_t>& dims = options_.enable_exact_ranges
+                                          ? check_sets[task.check_set]
+                                          : all_filtered;
+    ScanRange(data_, query, task.begin, task.end,
+              /*exact=*/options_.enable_exact_ranges && dims.empty(), dims,
+              visitor, stats);
+  }
+  if (stats != nullptr) {
+    stats->scan_ns += scan.ElapsedNanos();
+    stats->total_ns += total.ElapsedNanos();
+  }
+}
+
+size_t FloodIndex::IndexSizeBytes() const {
+  return offsets_.size() * sizeof(uint32_t) +
+         cell_models_.MemoryUsageBytes() + flattener_.MemoryUsageBytes() +
+         strides_.size() * sizeof(uint64_t);
+}
+
+FLOOD_DEFINE_EXECUTE_DISPATCH(FloodIndex);
+
+}  // namespace flood

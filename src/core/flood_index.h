@@ -1,0 +1,116 @@
+#ifndef FLOOD_CORE_FLOOD_INDEX_H_
+#define FLOOD_CORE_FLOOD_INDEX_H_
+
+#include <vector>
+
+#include "core/cell_models.h"
+#include "core/flattener.h"
+#include "core/grid_layout.h"
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Flood: the learned multi-dimensional in-memory index (§3–§5).
+///
+/// The d-dimensional space is covered by a (d-1)-dimensional grid over the
+/// layout's grid dimensions; within a cell, points are ordered by the sort
+/// dimension. Skewed attributes are *flattened* through per-dimension CDF
+/// models so each column holds ~equal mass; per-cell piecewise-linear
+/// models accelerate refinement along the sort dimension.
+///
+/// Query flow (§3.2): Projection (intersecting cells → physical ranges),
+/// Refinement (sort-dimension narrowing via PLM + local search), Scan
+/// (columnar filter of boundary cells; interior cells scan check-free as
+/// exact ranges, including O(1) cumulative-aggregate answers).
+///
+/// The layout itself is learned offline by LayoutOptimizer; Build accepts
+/// any valid layout, which is how the ablations of Fig. 11 are expressed.
+class FloodIndex final : public StorageBackedIndex {
+ public:
+  struct Options {
+    /// Layout to build. Empty (default) uses GridLayout::Default with
+    /// ~n/1024 cells.
+    GridLayout layout;
+    /// kCdf = flattened (paper default); kLinear = fixed-width ablation.
+    Flattener::Mode flatten_mode = Flattener::Mode::kCdf;
+    size_t flatten_sample_size = 50'000;
+    size_t flatten_rmi_leaves = 64;
+    /// Per-cell PLM refinement models (§5.2); disable to fall back to
+    /// binary search everywhere.
+    bool use_cell_models = true;
+    double plm_delta = 50.0;       ///< Fig. 17b default.
+    size_t plm_min_cell_size = 64; ///< Cells below this use binary search.
+    uint64_t max_cells = uint64_t{1} << 22;
+    uint64_t seed = 42;
+    /// §7.1 optimization ablations (bench_ablation_optimizations):
+    /// merge physically-adjacent interior cells into single runs...
+    bool enable_run_merging = true;
+    /// ...and skip per-value checks on ranges known to fully match
+    /// (disabling also disables cumulative-aggregate answers).
+    bool enable_exact_ranges = true;
+  };
+
+  FloodIndex() = default;
+  explicit FloodIndex(Options options) : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "Flood"; }
+
+  Status Build(const Table& table, const BuildContext& ctx) override;
+
+  void Execute(const Query& query, Visitor& visitor,
+               QueryStats* stats) const override;
+
+  size_t IndexSizeBytes() const override;
+
+  const GridLayout& layout() const { return layout_; }
+  uint64_t num_cells() const { return num_cells_; }
+  const Flattener& flattener() const { return flattener_; }
+  size_t num_cell_models() const { return cell_models_.num_models(); }
+
+  /// Points in cell `c` (introspection / tests).
+  size_t CellSize(size_t c) const {
+    return offsets_[c + 1] - offsets_[c];
+  }
+
+  /// Physical [begin, end) row range of cell `c` (used by KnnEngine).
+  std::pair<size_t, size_t> CellRange(size_t c) const {
+    FLOOD_DCHECK(c < num_cells_);
+    return {offsets_[c], offsets_[c + 1]};
+  }
+
+  template <typename V>
+  void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
+
+ private:
+  /// Per-grid-dimension projection of a query.
+  struct DimSpan {
+    uint32_t lo = 0;       ///< First intersecting column.
+    uint32_t hi = 0;       ///< Last intersecting column.
+    bool filtered = false;
+  };
+
+  /// One physical range to scan plus the dimensions needing per-row checks
+  /// (identified by an id into a per-query set table).
+  struct ScanTask {
+    uint32_t begin;
+    uint32_t end;
+    uint16_t check_set;
+  };
+
+  /// Refines [begin, end) of cell `c` along the sort dimension to the
+  /// sub-range matching `r` (§3.2.2 / §5.2).
+  void Refine(size_t c, const ValueRange& r, size_t begin, size_t end,
+              size_t* out_begin, size_t* out_end) const;
+
+  Options options_;
+  GridLayout layout_;
+  Flattener flattener_;
+  uint64_t num_cells_ = 0;
+  std::vector<uint64_t> strides_;    ///< Cell-id stride per grid dim.
+  std::vector<uint32_t> offsets_;    ///< Cell table: num_cells + 1 offsets.
+  CellModels cell_models_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_FLOOD_INDEX_H_

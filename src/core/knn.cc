@@ -1,0 +1,190 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace flood {
+
+KnnEngine::KnnEngine(const FloodIndex* index, std::vector<size_t> dims)
+    : index_(index), dims_(std::move(dims)) {
+  FLOOD_CHECK(index_ != nullptr);
+  const Table& data = index_->data();
+  if (dims_.empty()) {
+    for (size_t d = 0; d < data.num_dims(); ++d) dims_.push_back(d);
+  }
+  for (size_t d : dims_) FLOOD_CHECK(d < data.num_dims());
+
+  // Per-column raw extents for every grid dimension. Column extents are
+  // ordered (monotone flattening), which the ring lower bound relies on.
+  const GridLayout& layout = index_->layout();
+  const size_t k = layout.NumGridDims();
+  col_min_.resize(k);
+  col_max_.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t dim = layout.grid_dim(i);
+    const uint32_t cols = layout.columns[i];
+    col_min_[i].assign(cols, kValueMax);
+    col_max_[i].assign(cols, kValueMin);
+    const Column& column = data.column(dim);
+    column.ForEach(0, column.size(), [&](size_t, Value v) {
+      const uint32_t c = index_->flattener().ColumnOf(dim, v, cols);
+      col_min_[i][c] = std::min(col_min_[i][c], v);
+      col_max_[i][c] = std::max(col_max_[i][c], v);
+    });
+  }
+}
+
+double KnnEngine::SquaredDistance(const std::vector<Value>& point,
+                                  RowId row) const {
+  double total = 0;
+  for (size_t d : dims_) {
+    const double diff = static_cast<double>(point[d]) -
+                        static_cast<double>(index_->data().Get(row, d));
+    total += diff * diff;
+  }
+  return total;
+}
+
+std::vector<KnnEngine::Neighbor> KnnEngine::Search(
+    const std::vector<Value>& point, size_t k) const {
+  const GridLayout& layout = index_->layout();
+  const size_t gdims = layout.NumGridDims();
+  FLOOD_CHECK(point.size() == index_->data().num_dims());
+  last_cells_visited_ = 0;
+
+  // True iff the grid dimension participates in the distance.
+  std::vector<bool> in_distance(gdims, false);
+  for (size_t i = 0; i < gdims; ++i) {
+    in_distance[i] = std::find(dims_.begin(), dims_.end(),
+                               layout.grid_dim(i)) != dims_.end();
+  }
+
+  // The query point's home column per grid dimension.
+  std::vector<int64_t> center(gdims, 0);
+  for (size_t i = 0; i < gdims; ++i) {
+    center[i] = index_->flattener().ColumnOf(
+        layout.grid_dim(i), point[layout.grid_dim(i)],
+        layout.columns[i]);
+  }
+
+  // Max-heap of the best k squared distances.
+  std::priority_queue<std::pair<double, RowId>> best;
+  auto offer = [&](double d2, RowId row) {
+    if (best.size() < k) {
+      best.emplace(d2, row);
+    } else if (d2 < best.top().first) {
+      best.pop();
+      best.emplace(d2, row);
+    }
+  };
+
+  // Smallest possible distance contributed by a column at coordinate
+  // distance >= ring along grid dim i (inf when no such column exists).
+  auto dim_gap = [&](size_t i, int64_t ring) {
+    if (!in_distance[i]) return 0.0;  // Dim doesn't separate candidates.
+    const size_t dim = layout.grid_dim(i);
+    const double p = static_cast<double>(point[dim]);
+    double gap = std::numeric_limits<double>::infinity();
+    // Below: nearest non-empty column at index <= center - ring.
+    for (int64_t j = center[i] - ring; j >= 0; --j) {
+      if (col_min_[i][static_cast<size_t>(j)] > col_max_[i][static_cast<size_t>(j)]) {
+        continue;  // Empty column.
+      }
+      gap = std::min(
+          gap, std::max(0.0, p - static_cast<double>(
+                                     col_max_[i][static_cast<size_t>(j)])));
+      break;
+    }
+    // Above: nearest non-empty column at index >= center + ring.
+    for (int64_t j = center[i] + ring;
+         j < static_cast<int64_t>(col_min_[i].size()); ++j) {
+      if (col_min_[i][static_cast<size_t>(j)] > col_max_[i][static_cast<size_t>(j)]) {
+        continue;
+      }
+      gap = std::min(
+          gap, std::max(0.0, static_cast<double>(
+                                 col_min_[i][static_cast<size_t>(j)]) -
+                                 p));
+      break;
+    }
+    return gap;
+  };
+
+  // Ring expansion. Ring r holds every cell whose Chebyshev column
+  // distance to the center is exactly r.
+  int64_t max_ring = 0;
+  for (size_t i = 0; i < gdims; ++i) {
+    max_ring = std::max<int64_t>(
+        max_ring,
+        std::max(center[i],
+                 static_cast<int64_t>(layout.columns[i]) - 1 - center[i]));
+  }
+
+  std::vector<int64_t> lo(gdims);
+  std::vector<int64_t> hi(gdims);
+  std::vector<int64_t> coord(gdims);
+  for (int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Termination: once k candidates exist, no cell at ring distance
+    // >= ring can beat the current k-th best.
+    if (best.size() == k && ring > 0) {
+      double bound = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < gdims; ++i) {
+        if (layout.columns[i] <= 1) continue;
+        bound = std::min(bound, dim_gap(i, ring));
+      }
+      // An infinite bound means every remaining ring is empty.
+      if (bound * bound > best.top().first) break;
+    }
+
+    for (size_t i = 0; i < gdims; ++i) {
+      lo[i] = std::max<int64_t>(0, center[i] - ring);
+      hi[i] = std::min<int64_t>(
+          static_cast<int64_t>(layout.columns[i]) - 1, center[i] + ring);
+      coord[i] = lo[i];
+    }
+    // Odometer over the ring's bounding box, keeping only exact-ring cells.
+    while (true) {
+      int64_t cheb = 0;
+      for (size_t i = 0; i < gdims; ++i) {
+        cheb = std::max<int64_t>(cheb, std::abs(coord[i] - center[i]));
+      }
+      if (cheb == ring || (ring == 0 && gdims == 0)) {
+        uint64_t cell = 0;
+        for (size_t i = 0; i < gdims; ++i) {
+          cell = cell * layout.columns[i] + static_cast<uint64_t>(coord[i]);
+        }
+        const auto [begin, end] = index_->CellRange(cell);
+        ++last_cells_visited_;
+        for (size_t row = begin; row < end; ++row) {
+          offer(SquaredDistance(point, static_cast<RowId>(row)),
+                static_cast<RowId>(row));
+        }
+      }
+      if (gdims == 0) break;
+      size_t i = gdims;
+      bool done = true;
+      while (i-- > 0) {
+        if (++coord[i] <= hi[i]) {
+          done = false;
+          break;
+        }
+        coord[i] = lo[i];
+      }
+      if (done) break;
+    }
+    if (gdims == 0) break;
+  }
+
+  std::vector<Neighbor> result;
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.push_back({best.top().second, std::sqrt(best.top().first)});
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace flood

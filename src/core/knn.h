@@ -1,0 +1,57 @@
+#ifndef FLOOD_CORE_KNN_H_
+#define FLOOD_CORE_KNN_H_
+
+#include <vector>
+
+#include "core/flood_index.h"
+
+namespace flood {
+
+/// k-nearest-neighbor search over a built FloodIndex (paper §6: "Flood can
+/// easily locate adjacent cells in its grid layout, allowing a similar kNN
+/// algorithm" — the extension the paper describes but does not evaluate).
+///
+/// The engine expands Chebyshev rings of grid cells around the query
+/// point's cell, maintaining the best k candidates by Euclidean distance
+/// over the chosen dimensions. Per-column raw-value extents (computed once
+/// at construction) give an exact lower bound on the distance to any
+/// unvisited ring, so the search terminates with the exact answer.
+///
+/// Distances are computed in raw value space; pre-scale dimensions if
+/// their units differ (e.g. lat/lon vs timestamps).
+class KnnEngine {
+ public:
+  struct Neighbor {
+    RowId row = 0;        ///< Row id in the index's storage order.
+    double distance = 0;  ///< Euclidean distance over the search dims.
+  };
+
+  /// `index` must outlive the engine. `dims` are the dimensions entering
+  /// the distance; empty = all dimensions.
+  KnnEngine(const FloodIndex* index, std::vector<size_t> dims = {});
+
+  /// The k nearest rows to `point` (full-arity row of raw values; only the
+  /// search dims are read). Result sorted by ascending distance; fewer
+  /// than k entries only if the table has fewer rows.
+  std::vector<Neighbor> Search(const std::vector<Value>& point,
+                               size_t k) const;
+
+  /// Cells examined by the most recent Search (for tests/diagnostics).
+  size_t last_cells_visited() const { return last_cells_visited_; }
+
+ private:
+  /// Squared distance from point to row over the search dims.
+  double SquaredDistance(const std::vector<Value>& point, RowId row) const;
+
+  const FloodIndex* index_;
+  std::vector<size_t> dims_;
+  // Per grid dimension: column count and per-column [min, max] raw extents
+  // of the points it holds (kValueMax/kValueMin sentinels when empty).
+  std::vector<std::vector<Value>> col_min_;
+  std::vector<std::vector<Value>> col_max_;
+  mutable size_t last_cells_visited_ = 0;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_KNN_H_

@@ -1,0 +1,77 @@
+#ifndef FLOOD_CORE_LAYOUT_OPTIMIZER_H_
+#define FLOOD_CORE_LAYOUT_OPTIMIZER_H_
+
+#include <memory>
+
+#include "core/cost_model.h"
+#include "core/flood_index.h"
+#include "core/grid_layout.h"
+#include "query/workload.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// Algorithm 1 (§4.2, App. B): learns the layout for a dataset + workload.
+///
+///  1. Sample the dataset and the query workload.
+///  2. Flatten both through per-dimension RMI CDFs.
+///  3. For each candidate sort dimension, order the remaining dimensions by
+///     average selectivity and run a gradient-descent search over the
+///     column counts, evaluating Eq. 1 on the samples (no index builds, no
+///     query runs inside the loop).
+///  4. Return the lowest-cost candidate.
+class LayoutOptimizer {
+ public:
+  struct Options {
+    size_t data_sample_size = 20'000;   ///< §7.7: 0.01–1% samples suffice.
+    size_t query_sample_size = 100;     ///< §7.7: ~5% of queries suffice.
+    uint64_t max_cells = uint64_t{1} << 20;
+    int max_iterations = 30;            ///< Gradient-descent steps.
+    uint64_t seed = 7;
+    size_t flatten_rmi_leaves = 64;
+  };
+
+  struct Result {
+    GridLayout layout;
+    double predicted_cost_ns = 0;  ///< Avg per-query cost of the winner.
+    double learning_seconds = 0;
+    size_t rows_sampled = 0;
+    size_t queries_used = 0;
+  };
+
+  /// `cost_model` must outlive the optimizer.
+  LayoutOptimizer(const CostModel* cost_model, Options options)
+      : cost_model_(cost_model), options_(options) {
+    FLOOD_CHECK(cost_model != nullptr);
+  }
+
+  Result Optimize(const Table& table, const Workload& workload) const;
+
+  /// Estimated Eq.-1 cost of an arbitrary layout under this optimizer's
+  /// sampling parameters (exposed for Fig. 14's cost surface).
+  double EstimateLayoutCost(const Table& table, const Workload& workload,
+                            const GridLayout& layout) const;
+
+ private:
+  const CostModel* cost_model_;
+  Options options_;
+};
+
+/// An optimized-build bundle: learn the layout, then build Flood with it.
+struct OptimizedFlood {
+  std::unique_ptr<FloodIndex> index;
+  LayoutOptimizer::Result learn;
+  double load_seconds = 0;  ///< Table 4 "Flood Loading".
+};
+
+/// One-call front door: learns a layout with `optimizer_options` and builds
+/// a FloodIndex (based on `index_options`, layout overwritten) over it.
+StatusOr<OptimizedFlood> BuildOptimizedFlood(
+    const Table& table, const Workload& train_workload,
+    const CostModel& cost_model,
+    const LayoutOptimizer::Options& optimizer_options = {},
+    FloodIndex::Options index_options = {});
+
+}  // namespace flood
+
+#endif  // FLOOD_CORE_LAYOUT_OPTIMIZER_H_

@@ -1,0 +1,212 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace flood {
+
+namespace {
+
+/// Splits one CSV record (handles quoted fields; consumes further lines
+/// from `in` when a quoted field spans newlines). Returns false at EOF
+/// with no data.
+bool ReadRecord(std::istream& in, char delimiter,
+                std::vector<std::string>* fields) {
+  fields->clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (true) {
+    if (i >= line.size()) {
+      if (in_quotes) {
+        // Quoted field continues on the next physical line.
+        if (!std::getline(in, line)) break;
+        field.push_back('\n');
+        i = 0;
+        continue;
+      }
+      break;
+    }
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  fields->push_back(std::move(field));
+  return true;
+}
+
+bool ParseInt(const std::string& s, Value* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  return s.find(delimiter) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+void WriteField(std::ostream& out, const std::string& s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+StatusOr<CsvTable> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::vector<std::string> fields;
+  CsvTable result;
+
+  if (options.has_header) {
+    if (!ReadRecord(in, options.delimiter, &fields)) {
+      return Status::InvalidArgument("empty CSV input (no header)");
+    }
+    result.column_names = fields;
+  }
+
+  // Two-phase ingest: keep raw strings per column, then decide per column
+  // whether it is integer-typed or needs a dictionary.
+  std::vector<std::vector<std::string>> raw;
+  size_t arity = result.column_names.size();
+  size_t row_number = options.has_header ? 1 : 0;
+  while (ReadRecord(in, options.delimiter, &fields)) {
+    ++row_number;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // Blank line.
+    if (raw.empty()) {
+      if (arity == 0) arity = fields.size();
+      raw.resize(arity);
+    }
+    if (fields.size() != arity) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(arity));
+    }
+    for (size_t c = 0; c < arity; ++c) raw[c].push_back(std::move(fields[c]));
+  }
+  if (raw.empty() || raw[0].empty()) {
+    return Status::InvalidArgument("CSV has no data rows");
+  }
+  if (result.column_names.empty()) {
+    for (size_t c = 0; c < arity; ++c) {
+      result.column_names.push_back("col" + std::to_string(c));
+    }
+  }
+
+  const size_t n = raw[0].size();
+  std::vector<std::vector<Value>> columns(arity);
+  result.dictionaries.resize(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    // Integer column iff every non-empty cell parses as int64.
+    bool all_int = true;
+    for (const std::string& cell : raw[c]) {
+      Value v;
+      if (!cell.empty() && !ParseInt(cell, &v)) {
+        all_int = false;
+        break;
+      }
+    }
+    columns[c].reserve(n);
+    if (all_int) {
+      for (const std::string& cell : raw[c]) {
+        Value v = options.null_value;
+        if (!cell.empty()) ParseInt(cell, &v);
+        columns[c].push_back(v);
+      }
+    } else {
+      Dictionary& dict = result.dictionaries[c];
+      for (const std::string& cell : raw[c]) {
+        columns[c].push_back(dict.Encode(cell));
+      }
+      // Lexicographic codes so that encoded range predicates make sense.
+      const std::vector<Value> remap = dict.Finalize();
+      for (Value& v : columns[c]) v = remap[static_cast<size_t>(v)];
+    }
+  }
+
+  StatusOr<Table> table = Table::FromColumns(
+      std::move(columns), Column::Encoding::kBlockDelta,
+      result.column_names);
+  FLOOD_RETURN_IF_ERROR(table.status());
+  result.table = std::move(*table);
+  return result;
+}
+
+StatusOr<CsvTable> ReadCsvString(const std::string& text,
+                                 const CsvOptions& options) {
+  std::istringstream in(text);
+  return ReadCsv(in, options);
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path,
+                               const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const Table& table, const std::vector<Dictionary>& dicts,
+                std::ostream& out, const CsvOptions& options) {
+  if (!dicts.empty() && dicts.size() != table.num_dims()) {
+    return Status::InvalidArgument(
+        "dictionaries must be empty or match column count");
+  }
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_dims(); ++c) {
+      if (c > 0) out << options.delimiter;
+      WriteField(out, table.name(c), options.delimiter);
+    }
+    out << '\n';
+  }
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_dims(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Value v = table.Get(r, c);
+      if (!dicts.empty() && dicts[c].size() > 0) {
+        WriteField(out, dicts[c].Decode(v), options.delimiter);
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace flood

@@ -1,0 +1,56 @@
+#ifndef FLOOD_DATA_CSV_H_
+#define FLOOD_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// CSV ingest/export for tables — the practical front door for indexing
+/// real data with this library. Values that parse as 64-bit integers are
+/// stored directly; anything else is dictionary-encoded per column
+/// (paper §7.1: "any string values are dictionary encoded prior to
+/// evaluation"), with dictionaries finalized to lexicographic code order
+/// so range predicates on encoded columns behave like string ranges.
+struct CsvTable {
+  Table table;
+  /// Per-column dictionary; empty (size 0) for pure-integer columns.
+  std::vector<Dictionary> dictionaries;
+  std::vector<std::string> column_names;
+};
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names.
+  bool has_header = true;
+  /// Value used for empty cells in integer columns.
+  Value null_value = 0;
+};
+
+/// Parses CSV text into a table. All rows must have the same arity.
+/// Quoting: double quotes with "" escapes, delimiter/newlines allowed
+/// inside quoted fields.
+StatusOr<CsvTable> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Convenience overload over a string buffer.
+StatusOr<CsvTable> ReadCsvString(const std::string& text,
+                                 const CsvOptions& options = {});
+
+/// Reads from a file path.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path,
+                               const CsvOptions& options = {});
+
+/// Writes a table as CSV, decoding dictionary columns back to strings.
+/// `dictionaries` may be empty (all-integer output) or parallel to the
+/// table's columns.
+Status WriteCsv(const Table& table, const std::vector<Dictionary>& dicts,
+                std::ostream& out, const CsvOptions& options = {});
+
+}  // namespace flood
+
+#endif  // FLOOD_DATA_CSV_H_

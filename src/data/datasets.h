@@ -1,0 +1,71 @@
+#ifndef FLOOD_DATA_DATASETS_H_
+#define FLOOD_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/query_gen.h"
+#include "query/workload.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// A simulated evaluation dataset: the table, the published query-type mix,
+/// and metadata needed to derive the Fig. 9 workload variants.
+///
+/// These stand in for the paper's four datasets (§7.3); see DESIGN.md
+/// "Substitutions" for the fidelity argument. Row counts are parameters —
+/// the paper's scales (30M–300M) are reachable by passing larger n.
+struct BenchDataset {
+  std::string name;
+  Table table;
+  /// Default (skewed-OLAP) query-type mix; weights reflect that "some types
+  /// of queries occur more often than others".
+  std::vector<QueryTypeSpec> olap_specs;
+  /// Key attributes used for OLTP point lookups (Fig. 9 O1/O2).
+  std::vector<size_t> key_dims;
+  /// Paper-matching average query selectivity.
+  double default_selectivity = 0.001;
+};
+
+/// 6-dim sales-database simulator (30M rows in the paper). Mostly uniform
+/// marginals (the paper reports flattening barely helps on Sales).
+/// Dims: order_id, customer_id, product_id, quantity, unit_price, date.
+BenchDataset MakeSalesDataset(size_t n, uint64_t seed);
+
+/// 6-dim OpenStreetMap-like simulator (105M rows in the paper). Clustered
+/// lat/lon, recency-skewed timestamps, Zipfian categories.
+/// Dims: id, timestamp, lat, lon, record_type, category.
+BenchDataset MakeOsmDataset(size_t n, uint64_t seed);
+
+/// 6-dim performance-monitoring simulator (230M rows in the paper). Heavily
+/// skewed marginals. Dims: time, machine_id, cpu, mem, swap, load_avg.
+BenchDataset MakePerfmonDataset(size_t n, uint64_t seed);
+
+/// 7-dim TPC-H lineitem simulator (300M rows / SF50 in the paper).
+/// Dims: shipdate, receiptdate, quantity, discount, orderkey, suppkey,
+/// extendedprice (aggregation target; correlated ship/receipt dates).
+BenchDataset MakeTpchDataset(size_t n, uint64_t seed);
+
+/// d-dimensional uniform dataset for the dimension-scaling study (§7.5).
+BenchDataset MakeUniformDataset(size_t n, size_t num_dims, uint64_t seed);
+
+/// Materializes one of the Fig. 9 workload variants for `dataset`.
+Workload MakeWorkload(const BenchDataset& dataset, WorkloadKind kind,
+                      size_t num_queries, uint64_t seed,
+                      double selectivity_override = -1.0);
+
+/// Fig. 10: a random workload of up to `max_query_types` query types over
+/// random dimension subsets with randomized selectivities averaging the
+/// dataset default; more selective on key attributes.
+Workload MakeRandomWorkload(const BenchDataset& dataset, size_t num_queries,
+                            size_t max_query_types, uint64_t seed);
+
+/// §7.5 dimension study: queries filter the first k dims (k uniform in
+/// [1, d]), each filtered dim equally selective, total selectivity fixed.
+Workload MakeDimensionSweepWorkload(const BenchDataset& dataset,
+                                    size_t num_queries, uint64_t seed);
+
+}  // namespace flood
+
+#endif  // FLOOD_DATA_DATASETS_H_

@@ -1,0 +1,106 @@
+#include "data/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace flood {
+
+std::vector<Value> UniformColumn(size_t n, Value lo, Value hi, Rng& rng) {
+  std::vector<Value> v(n);
+  for (auto& x : v) x = rng.UniformInt(lo, hi);
+  return v;
+}
+
+std::vector<Value> GaussianColumn(size_t n, double mean, double stddev,
+                                  Value lo, Value hi, Rng& rng) {
+  std::vector<Value> v(n);
+  for (auto& x : v) {
+    x = Clamp(static_cast<Value>(std::llround(rng.Gaussian(mean, stddev))),
+              lo, hi);
+  }
+  return v;
+}
+
+std::vector<Value> LognormalColumn(size_t n, double mu, double sigma,
+                                   double scale, Rng& rng) {
+  std::vector<Value> v(n);
+  for (auto& x : v) {
+    x = static_cast<Value>(std::llround(scale * rng.Lognormal(mu, sigma)));
+  }
+  return v;
+}
+
+std::vector<Value> ZipfColumn(size_t n, size_t universe, double s, Rng& rng) {
+  ZipfGenerator zipf(universe, s);
+  std::vector<Value> v(n);
+  for (auto& x : v) x = static_cast<Value>(zipf.Sample(rng));
+  return v;
+}
+
+std::vector<Value> SequentialColumn(size_t n, Value start, Value step,
+                                    Value jitter, Rng& rng) {
+  std::vector<Value> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Value noise = jitter > 0 ? rng.UniformInt(-jitter, jitter) : 0;
+    v[i] = start + static_cast<Value>(i) * step + noise;
+  }
+  return v;
+}
+
+std::vector<Value> ClusteredColumn(size_t n, size_t num_clusters, Value lo,
+                                   Value hi, double spread, Rng& rng) {
+  FLOOD_CHECK(num_clusters > 0);
+  std::vector<Value> centers(num_clusters);
+  for (auto& c : centers) c = rng.UniformInt(lo, hi);
+  ZipfGenerator weights(num_clusters, 1.0);
+  std::vector<Value> v(n);
+  for (auto& x : v) {
+    const Value center = centers[weights.Sample(rng)];
+    x = Clamp(static_cast<Value>(std::llround(
+                  rng.Gaussian(static_cast<double>(center), spread))),
+              lo, hi);
+  }
+  return v;
+}
+
+std::vector<Value> OffsetColumn(const std::vector<Value>& base, Value off_lo,
+                                Value off_hi, Rng& rng) {
+  std::vector<Value> v(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    v[i] = base[i] + rng.UniformInt(off_lo, off_hi);
+  }
+  return v;
+}
+
+std::vector<Value> RecencySkewedColumn(size_t n, Value lo, Value hi,
+                                       double rate, Rng& rng) {
+  FLOOD_CHECK(rate > 0.0);
+  const double span = static_cast<double>(hi) - static_cast<double>(lo);
+  std::vector<Value> v(n);
+  for (auto& x : v) {
+    // Inverse-CDF of a truncated exponential leaning toward hi.
+    const double u = rng.NextDouble();
+    const double t =
+        std::log1p(u * (std::exp(rate) - 1.0)) / rate;  // in [0, 1]
+    x = lo + static_cast<Value>(std::llround(t * span));
+  }
+  return v;
+}
+
+std::vector<Value> BimodalColumn(size_t n, double mean_a, double stddev_a,
+                                 double mean_b, double stddev_b,
+                                 double weight_a, Value lo, Value hi,
+                                 Rng& rng) {
+  std::vector<Value> v(n);
+  for (auto& x : v) {
+    const bool a = rng.Bernoulli(weight_a);
+    const double sample = a ? rng.Gaussian(mean_a, stddev_a)
+                            : rng.Gaussian(mean_b, stddev_b);
+    x = Clamp(static_cast<Value>(std::llround(sample)), lo, hi);
+  }
+  return v;
+}
+
+}  // namespace flood

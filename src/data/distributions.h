@@ -1,0 +1,61 @@
+#ifndef FLOOD_DATA_DISTRIBUTIONS_H_
+#define FLOOD_DATA_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/column.h"
+
+namespace flood {
+
+// Column-shaped samplers used by the dataset simulators (§7.3). All return
+// `n` int64 values and draw exclusively from `rng` for reproducibility.
+
+/// Uniform integers in [lo, hi].
+std::vector<Value> UniformColumn(size_t n, Value lo, Value hi, Rng& rng);
+
+/// Rounded Gaussian, clamped to [lo, hi].
+std::vector<Value> GaussianColumn(size_t n, double mean, double stddev,
+                                  Value lo, Value hi, Rng& rng);
+
+/// Rounded scaled lognormal: round(scale * exp(N(mu, sigma))). Heavy right
+/// tail; models perfmon-style skew.
+std::vector<Value> LognormalColumn(size_t n, double mu, double sigma,
+                                   double scale, Rng& rng);
+
+/// Zipf-distributed category ids over [0, universe) with exponent s; the
+/// most frequent category is id 0.
+std::vector<Value> ZipfColumn(size_t n, size_t universe, double s, Rng& rng);
+
+/// Sequential ids start, start+step, ... with ±jitter noise (dense
+/// monotone-ish keys such as OSM element ids).
+std::vector<Value> SequentialColumn(size_t n, Value start, Value step,
+                                    Value jitter, Rng& rng);
+
+/// Gaussian-mixture values: `num_clusters` centers uniform in [lo, hi],
+/// cluster weights Zipf(1.0), point = center + N(0, spread). Clamped to
+/// [lo, hi]. Models geo coordinates clustered around cities.
+std::vector<Value> ClusteredColumn(size_t n, size_t num_clusters, Value lo,
+                                   Value hi, double spread, Rng& rng);
+
+/// base[i] + uniform offset in [off_lo, off_hi]; models correlated pairs
+/// such as TPC-H ship/receipt dates.
+std::vector<Value> OffsetColumn(const std::vector<Value>& base, Value off_lo,
+                                Value off_hi, Rng& rng);
+
+/// Exponentially densifying timestamps over [lo, hi]: the most recent
+/// portion of the time range holds most records (OSM edit history shape).
+/// `rate` > 0 controls skew toward hi.
+std::vector<Value> RecencySkewedColumn(size_t n, Value lo, Value hi,
+                                       double rate, Rng& rng);
+
+/// Two-mode mixture of Gaussians (e.g. mostly-idle / mostly-busy CPU).
+std::vector<Value> BimodalColumn(size_t n, double mean_a, double stddev_a,
+                                 double mean_b, double stddev_b,
+                                 double weight_a, Value lo, Value hi,
+                                 Rng& rng);
+
+}  // namespace flood
+
+#endif  // FLOOD_DATA_DISTRIBUTIONS_H_

@@ -1,0 +1,109 @@
+#include "data/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace flood {
+
+QueryGenerator::QueryGenerator(const Table& table, uint64_t seed,
+                               size_t sample_size)
+    : num_dims_(table.num_dims()),
+      sample_(DataSample::FromTable(table, sample_size, seed)),
+      rng_(seed ^ 0xABCDEF1234567890ULL) {}
+
+ValueRange QueryGenerator::DrawRange(size_t dim, double fraction) {
+  const auto& sorted = sample_.sorted(dim);
+  FLOOD_CHECK(!sorted.empty());
+  const double f = Clamp(fraction, 0.0, 1.0);
+  const double start_max = 1.0 - f;
+  const double u = rng_.NextDouble() * start_max;
+  const size_t n = sorted.size();
+  const size_t lo_idx = std::min(n - 1, static_cast<size_t>(u * n));
+  const size_t hi_idx = std::min(n - 1, static_cast<size_t>((u + f) * n));
+  Value lo = sorted[lo_idx];
+  Value hi = sorted[hi_idx];
+  if (lo > hi) std::swap(lo, hi);
+  return ValueRange{lo, hi};
+}
+
+Value QueryGenerator::DrawEqualityValue(size_t dim) {
+  const size_t n = sample_.num_rows();
+  FLOOD_CHECK(n > 0);
+  const size_t row =
+      static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(n) - 1));
+  return sample_.Get(row, dim);
+}
+
+Query QueryGenerator::Generate(const QueryTypeSpec& spec,
+                               double target_selectivity) {
+  Query q(num_dims_);
+  q.set_agg(spec.agg);
+
+  // Equality filters first: their selectivity is whatever the drawn value's
+  // frequency is; range filters divide up the remaining budget.
+  double eq_selectivity = 1.0;
+  for (size_t dim : spec.eq_dims) {
+    const Value v = DrawEqualityValue(dim);
+    q.SetEquals(dim, v);
+    eq_selectivity *= std::max(
+        sample_.Selectivity(dim, ValueRange{v, v}), 1e-6);
+  }
+
+  if (spec.range_dims.empty()) return q;
+
+  const double budget =
+      Clamp(target_selectivity / eq_selectivity, 1e-9, 1.0);
+  double per_dim = std::pow(
+      budget, 1.0 / static_cast<double>(spec.range_dims.size()));
+
+  for (size_t dim : spec.range_dims) {
+    const ValueRange r = DrawRange(dim, per_dim);
+    q.SetRange(dim, r.lo, r.hi);
+  }
+
+  // One correlation-correction pass: measure the joint selectivity on the
+  // sample and rescale the per-dimension fraction (§7.3 scales queries to
+  // hit the average selectivity target).
+  const double measured = sample_.MeasuredQuerySelectivity(q);
+  if (measured > 0.0) {
+    const double correction =
+        std::pow(Clamp(target_selectivity / measured, 0.05, 20.0),
+                 1.0 / static_cast<double>(spec.range_dims.size()));
+    if (correction < 0.95 || correction > 1.05) {
+      per_dim = Clamp(per_dim * correction, 1e-9, 1.0);
+      for (size_t dim : spec.range_dims) {
+        const ValueRange r = DrawRange(dim, per_dim);
+        q.SetRange(dim, r.lo, r.hi);
+      }
+    }
+  }
+  return q;
+}
+
+Workload QueryGenerator::GenerateWorkload(
+    const std::vector<QueryTypeSpec>& specs, size_t num_queries,
+    double target_selectivity) {
+  FLOOD_CHECK(!specs.empty());
+  double total_weight = 0.0;
+  for (const auto& s : specs) total_weight += s.weight;
+  FLOOD_CHECK(total_weight > 0.0);
+
+  Workload w;
+  for (size_t i = 0; i < num_queries; ++i) {
+    double pick = rng_.NextDouble() * total_weight;
+    size_t chosen = 0;
+    for (size_t s = 0; s < specs.size(); ++s) {
+      pick -= specs[s].weight;
+      if (pick <= 0.0) {
+        chosen = s;
+        break;
+      }
+    }
+    w.Add(Generate(specs[chosen], target_selectivity));
+  }
+  return w;
+}
+
+}  // namespace flood

@@ -1,0 +1,87 @@
+#include "learned/plm.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace flood {
+
+Plm Plm::Train(const std::vector<Value>& sorted, double delta) {
+  FLOOD_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  FLOOD_CHECK(delta >= 0.0);
+  Plm plm;
+  plm.n_ = sorted.size();
+  if (sorted.empty()) return plm;
+
+  // Collect (value, first-occurrence rank) pairs for distinct values.
+  std::vector<std::pair<Value, size_t>> points;
+  points.reserve(1024);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) {
+      points.emplace_back(sorted[i], i);
+    }
+  }
+
+  auto start_segment = [&plm](Value v, size_t rank) {
+    Segment seg;
+    seg.first_value = v;
+    seg.base = static_cast<double>(rank);
+    seg.slope = 0.0;
+    plm.segments_.push_back(seg);
+  };
+
+  start_segment(points[0].first, points[0].second);
+  // Running state for the open segment.
+  double slope = 0.0;          // Current lower-bound slope.
+  double sum_rank = 0.0;       // Sum of D(v) over slice points after first.
+  double sum_dx = 0.0;         // Sum of (v - v0) over slice points after first.
+  size_t count = 1;            // Points in slice (incl. first).
+  size_t seg_first_rank = points[0].second;
+  Value seg_first_value = points[0].first;
+
+  for (size_t p = 1; p < points.size(); ++p) {
+    const Value v = points[p].first;
+    const size_t rank = points[p].second;
+    // Subtract in double space: int64 subtraction could overflow when
+    // values span nearly the whole domain.
+    const double dx =
+        static_cast<double>(v) - static_cast<double>(seg_first_value);
+    const double ratio =
+        (static_cast<double>(rank) - static_cast<double>(seg_first_rank)) / dx;
+    const double new_slope = (count == 1) ? ratio : std::min(slope, ratio);
+    // Average under-estimation error if we add this point with new_slope.
+    // Error of the slice's first point is 0 by construction.
+    const double err_sum = (sum_rank + static_cast<double>(rank)) -
+                           static_cast<double>(count) *
+                               static_cast<double>(seg_first_rank) -
+                           new_slope * (sum_dx + dx);
+    const double avg_err = err_sum / static_cast<double>(count + 1);
+    if (avg_err > delta) {
+      // Close the current segment and open a new one at (v, rank).
+      plm.segments_.back().slope = slope;
+      plm.segments_.back().end_rank = static_cast<uint32_t>(rank);
+      start_segment(v, rank);
+      slope = 0.0;
+      sum_rank = 0.0;
+      sum_dx = 0.0;
+      count = 1;
+      seg_first_rank = rank;
+      seg_first_value = v;
+    } else {
+      slope = new_slope;
+      sum_rank += static_cast<double>(rank);
+      sum_dx += dx;
+      ++count;
+    }
+  }
+  plm.segments_.back().slope = slope;
+  plm.segments_.back().end_rank = static_cast<uint32_t>(sorted.size());
+
+  std::vector<Value> keys;
+  keys.reserve(plm.segments_.size());
+  for (const auto& seg : plm.segments_) keys.push_back(seg.first_value);
+  plm.btree_ = StaticBTree(std::move(keys));
+  return plm;
+}
+
+}  // namespace flood

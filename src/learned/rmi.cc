@@ -1,0 +1,107 @@
+#include "learned/rmi.h"
+
+#include <cmath>
+
+namespace flood {
+
+LinearModel LinearModel::Fit(const std::vector<double>& xs,
+                             const std::vector<double>& ys) {
+  FLOOD_DCHECK(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n == 0) return LinearModel{0.0, 0.0};
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    sxx += dx * dx;
+    sxy += dx * (ys[i] - mean_y);
+  }
+  if (sxx <= 0.0) return LinearModel{0.0, mean_y};
+  const double slope = sxy / sxx;
+  return LinearModel{slope, mean_y - slope * mean_x};
+}
+
+Rmi Rmi::Train(const std::vector<Value>& sorted, size_t num_leaves) {
+  FLOOD_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  Rmi rmi;
+  rmi.n_ = sorted.size();
+  if (sorted.empty()) {
+    rmi.knots_.push_back(0);
+    rmi.leaves_.push_back(Leaf{});
+    return rmi;
+  }
+  if (num_leaves == 0) {
+    num_leaves = std::max<size_t>(1, sorted.size() / 256);
+  }
+  num_leaves = std::min(num_leaves, sorted.size());
+
+  // Equi-depth knots: leaf j starts at the first occurrence of the value
+  // at rank j*n/L. Duplicate boundary values merge into one leaf, so knots
+  // stay strictly increasing and routing stays well-defined.
+  const size_t n = sorted.size();
+  for (size_t j = 0; j < num_leaves; ++j) {
+    const size_t target = j * n / num_leaves;
+    const Value v = sorted[target];
+    if (!rmi.knots_.empty() && rmi.knots_.back() == v) continue;
+    const size_t first = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+    Leaf leaf;
+    leaf.rank_begin = static_cast<uint32_t>(first);
+    rmi.knots_.push_back(v);
+    rmi.leaves_.push_back(leaf);
+  }
+  // Close rank intervals and fit per-leaf models.
+  for (size_t j = 0; j < rmi.leaves_.size(); ++j) {
+    Leaf& leaf = rmi.leaves_[j];
+    const size_t begin = leaf.rank_begin;
+    const size_t end =
+        (j + 1 < rmi.leaves_.size()) ? rmi.leaves_[j + 1].rank_begin : n;
+    leaf.rank_end = static_cast<uint32_t>(end);
+    if (end > begin) {
+      std::vector<double> xs;
+      std::vector<double> ys;
+      xs.reserve(end - begin);
+      ys.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        xs.push_back(static_cast<double>(sorted[i]));
+        ys.push_back(static_cast<double>(i));
+      }
+      leaf.model = LinearModel::Fit(xs, ys);
+      // Monotonicity: non-negative slope within the leaf; combined with
+      // rank clamping this makes the full model non-decreasing.
+      if (leaf.model.slope < 0.0) {
+        leaf.model = LinearModel{0.0, (ys.front() + ys.back()) / 2.0};
+      }
+    } else {
+      leaf.model = LinearModel{0.0, static_cast<double>(begin)};
+    }
+  }
+  return rmi;
+}
+
+Rmi::Bounds Rmi::Lookup(Value v) const {
+  if (n_ == 0) return Bounds{0, 0, 0};
+  const Leaf& leaf = leaves_[LeafIndex(v)];
+  double r = leaf.model.Predict(static_cast<double>(v));
+  if (r < leaf.rank_begin) r = leaf.rank_begin;
+  if (r > leaf.rank_end) r = leaf.rank_end;
+  // Certified interval: ranks before the leaf hold values strictly below
+  // its knot (<= v), ranks at/after its end hold values > v's leaf span,
+  // so the true lower-bound rank lies within [rank_begin, rank_end].
+  return Bounds{static_cast<size_t>(r), leaf.rank_begin, leaf.rank_end};
+}
+
+size_t Rmi::MemoryUsageBytes() const {
+  return sizeof(Rmi) + leaves_.size() * sizeof(Leaf) +
+         knots_.size() * sizeof(Value);
+}
+
+}  // namespace flood

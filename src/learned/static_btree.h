@@ -1,0 +1,74 @@
+#ifndef FLOOD_LEARNED_STATIC_BTREE_H_
+#define FLOOD_LEARNED_STATIC_BTREE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/column.h"
+
+namespace flood {
+
+/// A read-only B-tree over a sorted key array, built bottom-up with a small
+/// fanout so each node spans few cache lines (paper §5.2: the PLM "forms a
+/// cache-optimized B-Tree" over its segment boundary keys).
+///
+/// FindSegment(v) returns the index of the last key <= v, i.e. the segment
+/// that owns v, or 0 if v precedes all keys.
+class StaticBTree {
+ public:
+  static constexpr size_t kFanout = 16;
+
+  StaticBTree() = default;
+
+  /// Takes ownership of `keys`, which must be sorted ascending.
+  explicit StaticBTree(std::vector<Value> keys) {
+    FLOOD_DCHECK(std::is_sorted(keys.begin(), keys.end()));
+    levels_.push_back(std::move(keys));
+    while (levels_.back().size() > kFanout) {
+      const std::vector<Value>& below = levels_.back();
+      std::vector<Value> up;
+      up.reserve(below.size() / kFanout + 1);
+      for (size_t i = 0; i < below.size(); i += kFanout) {
+        up.push_back(below[i]);
+      }
+      levels_.push_back(std::move(up));
+    }
+  }
+
+  size_t size() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+  /// Index (into the key array) of the last key <= v; 0 if v < keys[0].
+  size_t FindSegment(Value v) const {
+    FLOOD_DCHECK(!levels_.empty() && !levels_[0].empty());
+    // Walk from the top level down. `pos` is the candidate child index at
+    // the current level.
+    size_t pos = 0;
+    for (size_t l = levels_.size(); l-- > 0;) {
+      const std::vector<Value>& keys = levels_[l];
+      const size_t begin = pos * kFanout;
+      const size_t end = std::min(keys.size(), begin + kFanout);
+      // Linear scan within the node: fanout is small and the node is
+      // contiguous, so this beats branchy binary search.
+      size_t i = begin;
+      while (i + 1 < end && keys[i + 1] <= v) ++i;
+      pos = i;
+    }
+    return pos;
+  }
+
+  size_t MemoryUsageBytes() const {
+    size_t bytes = 0;
+    for (const auto& l : levels_) bytes += l.size() * sizeof(Value);
+    return bytes;
+  }
+
+ private:
+  // levels_[0] is the full key array; each higher level keeps every
+  // kFanout-th key of the level below.
+  std::vector<std::vector<Value>> levels_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_LEARNED_STATIC_BTREE_H_

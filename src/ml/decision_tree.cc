@@ -1,0 +1,134 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace flood {
+
+DecisionTree DecisionTree::Fit(const std::vector<std::vector<double>>& rows,
+                               const std::vector<double>& targets,
+                               const std::vector<uint32_t>& row_indices,
+                               const TreeParams& params, Rng& rng) {
+  DecisionTree tree;
+  if (row_indices.empty()) {
+    tree.nodes_.push_back(Node{});
+    return tree;
+  }
+  std::vector<uint32_t> indices = row_indices;
+  tree.Build(rows, targets, indices, 0, indices.size(), 0, params, rng);
+  return tree;
+}
+
+uint32_t DecisionTree::Build(const std::vector<std::vector<double>>& rows,
+                             const std::vector<double>& targets,
+                             std::vector<uint32_t>& indices, size_t begin,
+                             size_t end, int depth, const TreeParams& params,
+                             Rng& rng) {
+  const uint32_t node_id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  const size_t n = end - begin;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += targets[indices[i]];
+  const double mean = sum / static_cast<double>(n);
+  nodes_[node_id].value = mean;
+
+  if (depth >= params.max_depth || n < 2 * params.min_samples_leaf) {
+    return node_id;
+  }
+
+  const size_t num_features = rows[indices[begin]].size();
+  // Candidate features: all, or a random subset of max_features.
+  std::vector<uint32_t> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  size_t feature_count = num_features;
+  if (params.max_features != 0 && params.max_features < num_features) {
+    for (size_t i = 0; i < params.max_features; ++i) {
+      const size_t j = i + static_cast<size_t>(rng.UniformInt(
+                               0, static_cast<int64_t>(num_features - i) - 1));
+      std::swap(features[i], features[j]);
+    }
+    feature_count = params.max_features;
+  }
+
+  // Best split: maximize SSE reduction == maximize sum over children of
+  // (child_sum^2 / child_count).
+  double best_score = -std::numeric_limits<double>::infinity();
+  int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> pairs;  // (feature value, target)
+  pairs.reserve(n);
+  for (size_t f = 0; f < feature_count; ++f) {
+    const uint32_t feature = features[f];
+    pairs.clear();
+    for (size_t i = begin; i < end; ++i) {
+      pairs.emplace_back(rows[indices[i]][feature], targets[indices[i]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;  // Constant.
+
+    double left_sum = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += pairs[i].second;
+      // Can only split between distinct feature values.
+      if (pairs[i].first == pairs[i + 1].first) continue;
+      const size_t left_n = i + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < params.min_samples_leaf ||
+          right_n < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(left_n) +
+          right_sum * right_sum / static_cast<double>(right_n);
+      if (score > best_score) {
+        best_score = score;
+        best_feature = static_cast<int32_t>(feature);
+        best_threshold = (pairs[i].first + pairs[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // No useful split found.
+
+  // Partition indices in place.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&rows, best_feature, best_threshold](uint32_t idx) {
+        return rows[idx][static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  const size_t mid =
+      static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // Degenerate partition.
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const uint32_t left =
+      Build(rows, targets, indices, begin, mid, depth + 1, params, rng);
+  const uint32_t right =
+      Build(rows, targets, indices, mid, end, depth + 1, params, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  uint32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& nd = nodes_[node];
+    const size_t f = static_cast<size_t>(nd.feature);
+    const double x = f < features.size() ? features[f] : 0.0;
+    node = (x <= nd.threshold) ? nd.left : nd.right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace flood

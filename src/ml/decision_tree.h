@@ -1,0 +1,56 @@
+#ifndef FLOOD_ML_DECISION_TREE_H_
+#define FLOOD_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flood {
+
+/// Hyper-parameters shared by DecisionTree and RandomForest.
+struct TreeParams {
+  int max_depth = 12;
+  size_t min_samples_leaf = 3;
+  /// Features considered per split; 0 means all (single trees) — forests
+  /// typically pass ~d/3 for regression.
+  size_t max_features = 0;
+};
+
+/// CART regression tree: greedy binary splits minimizing the sum of squared
+/// errors, mean prediction at the leaves.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits the tree on rows[i] -> targets[i]. `row_indices` selects the
+  /// training subset (bootstrap support); pass all indices for a plain fit.
+  static DecisionTree Fit(const std::vector<std::vector<double>>& rows,
+                          const std::vector<double>& targets,
+                          const std::vector<uint32_t>& row_indices,
+                          const TreeParams& params, Rng& rng);
+
+  double Predict(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int32_t feature = -1;  ///< -1 for leaves.
+    double threshold = 0.0;
+    double value = 0.0;    ///< Leaf prediction (mean target).
+    uint32_t left = 0;
+    uint32_t right = 0;
+  };
+
+  uint32_t Build(const std::vector<std::vector<double>>& rows,
+                 const std::vector<double>& targets,
+                 std::vector<uint32_t>& indices, size_t begin, size_t end,
+                 int depth, const TreeParams& params, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_ML_DECISION_TREE_H_

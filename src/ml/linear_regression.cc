@@ -1,0 +1,73 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace flood {
+
+LinearRegression LinearRegression::Fit(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets, double ridge) {
+  LinearRegression lr;
+  if (rows.empty()) return lr;
+  FLOOD_CHECK(rows.size() == targets.size());
+  const size_t d = rows[0].size();
+  const size_t p = d + 1;  // +1 for the intercept column.
+
+  // Normal equations A beta = b with A = X'X + ridge*I, b = X'y.
+  std::vector<double> a(p * p, 0.0);
+  std::vector<double> b(p, 0.0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    FLOOD_DCHECK(rows[r].size() == d);
+    // Augmented feature vector [x0..xd-1, 1].
+    for (size_t i = 0; i < p; ++i) {
+      const double xi = (i < d) ? rows[r][i] : 1.0;
+      b[i] += xi * targets[r];
+      for (size_t j = 0; j < p; ++j) {
+        const double xj = (j < d) ? rows[r][j] : 1.0;
+        a[i * p + j] += xi * xj;
+      }
+    }
+  }
+  for (size_t i = 0; i < p; ++i) a[i * p + i] += ridge;
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> beta = b;
+  for (size_t col = 0; col < p; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < p; ++r) {
+      if (std::fabs(a[r * p + col]) > std::fabs(a[pivot * p + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * p + col]) < 1e-12) continue;  // Degenerate column.
+    if (pivot != col) {
+      for (size_t j = 0; j < p; ++j) std::swap(a[col * p + j], a[pivot * p + j]);
+      std::swap(beta[col], beta[pivot]);
+    }
+    const double diag = a[col * p + col];
+    for (size_t r = 0; r < p; ++r) {
+      if (r == col) continue;
+      const double factor = a[r * p + col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < p; ++j) a[r * p + j] -= factor * a[col * p + j];
+      beta[r] -= factor * beta[col];
+    }
+  }
+  lr.coef_.resize(d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    const double diag = a[i * p + i];
+    lr.coef_[i] = (std::fabs(diag) < 1e-12) ? 0.0 : beta[i] / diag;
+  }
+  const double diag = a[d * p + d];
+  lr.intercept_ = (std::fabs(diag) < 1e-12) ? 0.0 : beta[d] / diag;
+  return lr;
+}
+
+double LinearRegression::Predict(const std::vector<double>& features) const {
+  double y = intercept_;
+  const size_t d = std::min(features.size(), coef_.size());
+  for (size_t i = 0; i < d; ++i) y += coef_[i] * features[i];
+  return y;
+}
+
+}  // namespace flood

@@ -1,0 +1,32 @@
+#ifndef FLOOD_ML_LINEAR_REGRESSION_H_
+#define FLOOD_ML_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+namespace flood {
+
+/// Multivariate ordinary-least-squares regression with an intercept and a
+/// small ridge term for numerical stability. Used as the weaker cost-model
+/// weight predictor in the §4.1.2 ablation.
+class LinearRegression {
+ public:
+  LinearRegression() = default;
+
+  /// Fits y ~ X. `rows` is a vector of feature vectors (equal length).
+  static LinearRegression Fit(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& targets,
+                              double ridge = 1e-6);
+
+  double Predict(const std::vector<double>& features) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,48 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace flood {
+
+RandomForest RandomForest::Fit(const std::vector<std::vector<double>>& rows,
+                               const std::vector<double>& targets,
+                               const Params& params, uint64_t seed) {
+  FLOOD_CHECK(rows.size() == targets.size());
+  RandomForest forest;
+  if (rows.empty()) return forest;
+  Rng rng(seed);
+
+  const size_t n = rows.size();
+  const size_t boot =
+      std::max<size_t>(1, static_cast<size_t>(params.bootstrap_fraction *
+                                              static_cast<double>(n)));
+  TreeParams tree_params = params.tree;
+  if (tree_params.max_features == 0 && !rows[0].empty()) {
+    // Regression-forest default: d/3 features per split.
+    tree_params.max_features = std::max<size_t>(1, rows[0].size() / 3);
+  }
+
+  forest.trees_.reserve(params.num_trees);
+  std::vector<uint32_t> sample(boot);
+  for (size_t t = 0; t < params.num_trees; ++t) {
+    for (auto& idx : sample) {
+      idx = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    Rng tree_rng = rng.Fork();
+    forest.trees_.push_back(
+        DecisionTree::Fit(rows, targets, sample, tree_params, tree_rng));
+  }
+  return forest;
+}
+
+double RandomForest::Predict(const std::vector<double>& features) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace flood

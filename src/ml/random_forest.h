@@ -1,0 +1,39 @@
+#ifndef FLOOD_ML_RANDOM_FOREST_H_
+#define FLOOD_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace flood {
+
+/// Bagged random-forest regressor — the cost model's weight predictor
+/// (§4.1.1 trains "a random forest regression model to predict the weights
+/// based on the statistics"; the paper used scipy, we implement our own).
+class RandomForest {
+ public:
+  struct Params {
+    size_t num_trees = 40;
+    TreeParams tree;
+    /// Bootstrap sample size as a fraction of the training set.
+    double bootstrap_fraction = 1.0;
+  };
+
+  RandomForest() = default;
+
+  static RandomForest Fit(const std::vector<std::vector<double>>& rows,
+                          const std::vector<double>& targets,
+                          const Params& params, uint64_t seed);
+
+  /// Mean prediction across trees.
+  double Predict(const std::vector<double>& features) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_ML_RANDOM_FOREST_H_

@@ -1,0 +1,29 @@
+#include "query/executor.h"
+
+#include "query/visitor.h"
+
+namespace flood {
+
+AggResult ExecuteAggregate(const MultiDimIndex& index, const Query& query,
+                           QueryStats* stats) {
+  AggResult result;
+  if (query.agg().kind == AggSpec::Kind::kSum) {
+    // Stats track the match count; fall back to a local block when the
+    // caller doesn't need them (stats accumulate, hence the delta).
+    QueryStats local;
+    QueryStats* s = stats != nullptr ? stats : &local;
+    const uint64_t matched_before = s->points_matched;
+    SumVisitor v(&index.data().column(query.agg().dim));
+    v.set_prefix_sums(index.prefix_sums(query.agg().dim));
+    index.Execute(query, v, s);
+    result.sum = v.sum();
+    result.count = s->points_matched - matched_before;
+  } else {
+    CountVisitor v;
+    index.Execute(query, v, stats);
+    result.count = v.count();
+  }
+  return result;
+}
+
+}  // namespace flood

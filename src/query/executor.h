@@ -1,0 +1,26 @@
+#ifndef FLOOD_QUERY_EXECUTOR_H_
+#define FLOOD_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "query/multidim_index.h"
+#include "query/query.h"
+#include "query/query_stats.h"
+
+namespace flood {
+
+/// Result of an aggregation query.
+struct AggResult {
+  uint64_t count = 0;  ///< Matching rows (always populated).
+  int64_t sum = 0;     ///< Populated for SUM queries.
+};
+
+/// Runs `query` against `index` with the visitor its AggSpec requires,
+/// wiring up prefix sums when the index maintains them. This is the
+/// front door used by examples and benchmarks.
+AggResult ExecuteAggregate(const MultiDimIndex& index, const Query& query,
+                           QueryStats* stats = nullptr);
+
+}  // namespace flood
+
+#endif  // FLOOD_QUERY_EXECUTOR_H_

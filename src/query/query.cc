@@ -1,0 +1,38 @@
+#include "query/query.h"
+
+#include <sstream>
+
+namespace flood {
+
+size_t Query::NumFiltered() const {
+  size_t n = 0;
+  for (const auto& r : ranges_) {
+    if (!r.IsFullRange()) ++n;
+  }
+  return n;
+}
+
+bool Query::IsEmpty() const {
+  for (const auto& r : ranges_) {
+    if (r.IsEmpty()) return true;
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  for (size_t d = 0; d < ranges_.size(); ++d) {
+    const auto& r = ranges_[d];
+    if (r.IsFullRange()) continue;
+    if (r.lo == r.hi) {
+      os << "[d" << d << " == " << r.lo << "] ";
+    } else {
+      os << "[d" << d << " in " << r.lo << ".." << r.hi << "] ";
+    }
+  }
+  os << (agg_.kind == AggSpec::Kind::kCount ? "COUNT"
+                                            : "SUM(d" + std::to_string(agg_.dim) + ")");
+  return os.str();
+}
+
+}  // namespace flood

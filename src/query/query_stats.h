@@ -1,0 +1,61 @@
+#ifndef FLOOD_QUERY_QUERY_STATS_H_
+#define FLOOD_QUERY_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace flood {
+
+/// Per-query execution statistics, shared by Flood and all baselines.
+/// These drive Table 2 (SO/TPS/ST/IT/TT) and are the measurable features of
+/// the cost model (§4.1.1).
+struct QueryStats {
+  // --- Counters -----------------------------------------------------------
+  uint64_t points_scanned = 0;  ///< Rows visited, including exact ranges.
+  uint64_t points_matched = 0;  ///< Rows satisfying the full predicate.
+  uint64_t points_exact = 0;    ///< Rows inside exact (check-free) ranges.
+  uint64_t cells_visited = 0;   ///< Grid cells / tree pages examined.
+  uint64_t ranges_scanned = 0;  ///< Contiguous physical ranges scanned.
+
+  // --- Timings (nanoseconds) ---------------------------------------------
+  int64_t index_ns = 0;   ///< Projection / tree traversal time.
+  int64_t refine_ns = 0;  ///< Refinement time (Flood only; included in TT).
+  int64_t scan_ns = 0;    ///< Scan + filter time.
+  int64_t total_ns = 0;   ///< End-to-end query time.
+
+  void Add(const QueryStats& o) {
+    points_scanned += o.points_scanned;
+    points_matched += o.points_matched;
+    points_exact += o.points_exact;
+    cells_visited += o.cells_visited;
+    ranges_scanned += o.ranges_scanned;
+    index_ns += o.index_ns;
+    refine_ns += o.refine_ns;
+    scan_ns += o.scan_ns;
+    total_ns += o.total_ns;
+  }
+
+  /// Scan overhead: points scanned per matching point (Table 2 "SO").
+  double ScanOverhead() const {
+    if (points_matched == 0) return static_cast<double>(points_scanned);
+    return static_cast<double>(points_scanned) /
+           static_cast<double>(points_matched);
+  }
+
+  /// Time per scanned point in nanoseconds (Table 2 "TPS").
+  double TimePerScannedPoint() const {
+    if (points_scanned == 0) return 0.0;
+    return static_cast<double>(scan_ns) /
+           static_cast<double>(points_scanned);
+  }
+
+  /// Average scan run length (a locality proxy; cost-model feature).
+  double AvgRunLength() const {
+    if (ranges_scanned == 0) return 0.0;
+    return static_cast<double>(points_scanned) /
+           static_cast<double>(ranges_scanned);
+  }
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_QUERY_QUERY_STATS_H_

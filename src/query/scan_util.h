@@ -1,0 +1,113 @@
+#ifndef FLOOD_QUERY_SCAN_UTIL_H_
+#define FLOOD_QUERY_SCAN_UTIL_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "query/query_stats.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// A contiguous physical row range to scan. `exact` ranges are known a
+/// priori to contain only matches (§7.1 optimization 1): no per-value
+/// checks are performed and the visitor may use cumulative aggregates.
+struct PhysRange {
+  size_t begin = 0;
+  size_t end = 0;
+  bool exact = false;
+};
+
+/// Scans one range, checking each row of `check_dims` against the query
+/// (columnar, chunked evaluation: one predicate column at a time over a
+/// match bitmap). Non-listed dimensions are assumed satisfied by
+/// construction (e.g. the refined sort dimension).
+///
+/// Counters: adds end-begin to points_scanned, matches to points_matched,
+/// and one to ranges_scanned.
+template <typename V>
+void ScanRange(const Table& data, const Query& query, size_t begin,
+               size_t end, bool exact, const std::vector<size_t>& check_dims,
+               V& visitor, QueryStats* stats) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (stats != nullptr) {
+    stats->points_scanned += n;
+    ++stats->ranges_scanned;
+  }
+  if (exact || check_dims.empty()) {
+    visitor.VisitExactRange(begin, end);
+    if (stats != nullptr) {
+      stats->points_matched += n;
+      stats->points_exact += n;
+    }
+    return;
+  }
+
+  // Chunked columnar filtering: evaluate one dimension at a time into a
+  // bitmap, AND-combining across dimensions.
+  constexpr size_t kChunk = 2048;
+  uint64_t bitmap[kChunk / 64];
+  size_t matched = 0;
+  for (size_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += kChunk) {
+    const size_t chunk_end = std::min(end, chunk_begin + kChunk);
+    const size_t chunk_n = chunk_end - chunk_begin;
+    const size_t words = (chunk_n + 63) / 64;
+    for (size_t w = 0; w < words; ++w) bitmap[w] = ~uint64_t{0};
+    if (chunk_n % 64 != 0) {
+      bitmap[words - 1] = (uint64_t{1} << (chunk_n % 64)) - 1;
+    }
+
+    for (size_t dim : check_dims) {
+      const ValueRange& r = query.range(dim);
+      const Column& col = data.column(dim);
+      // Skip words that are already all-zero.
+      col.ForEach(chunk_begin, chunk_end,
+                  [&](size_t i, Value v) {
+                    if (!r.Contains(v)) {
+                      const size_t off = i - chunk_begin;
+                      bitmap[off / 64] &= ~(uint64_t{1} << (off % 64));
+                    }
+                  });
+    }
+
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = bitmap[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        visitor.VisitRow(static_cast<RowId>(chunk_begin + w * 64 +
+                                            static_cast<size_t>(b)));
+        ++matched;
+      }
+    }
+  }
+  if (stats != nullptr) stats->points_matched += matched;
+}
+
+/// Convenience wrapper over a list of ranges with a shared check-dim set.
+template <typename V>
+void ScanRanges(const Table& data, const Query& query,
+                const std::vector<PhysRange>& ranges,
+                const std::vector<size_t>& check_dims, V& visitor,
+                QueryStats* stats) {
+  for (const PhysRange& r : ranges) {
+    ScanRange(data, query, r.begin, r.end, r.exact, check_dims, visitor,
+              stats);
+  }
+}
+
+/// The filtered dimensions of `query` (the default check-dim set for
+/// baseline indexes, which guarantee nothing per-range).
+inline std::vector<size_t> FilteredDims(const Query& query) {
+  std::vector<size_t> dims;
+  for (size_t d = 0; d < query.num_dims(); ++d) {
+    if (query.IsFiltered(d)) dims.push_back(d);
+  }
+  return dims;
+}
+
+}  // namespace flood
+
+#endif  // FLOOD_QUERY_SCAN_UTIL_H_

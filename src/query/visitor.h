@@ -1,0 +1,98 @@
+#ifndef FLOOD_QUERY_VISITOR_H_
+#define FLOOD_QUERY_VISITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace flood {
+
+/// Visitors accumulate an aggregation over matching rows (paper App. A).
+///
+/// Indexes call VisitRow(row) for individually-checked matches and
+/// VisitExactRange(begin, end) for ranges known a priori to match entirely
+/// (the "exact range" optimization of §7.1, which skips per-value filter
+/// checks and can use precomputed cumulative aggregates).
+///
+/// Index scan loops are templated over the concrete visitor type so the
+/// per-row call devirtualizes; the abstract interface exists for the
+/// type-erased public API.
+class Visitor {
+ public:
+  enum class Kind { kCount, kSum, kCollect };
+
+  virtual ~Visitor() = default;
+  virtual Kind kind() const = 0;
+  virtual void VisitRow(RowId row) = 0;
+  virtual void VisitExactRange(RowId begin, RowId end) = 0;
+};
+
+/// COUNT(*) accumulator.
+class CountVisitor final : public Visitor {
+ public:
+  Kind kind() const override { return Kind::kCount; }
+  void VisitRow(RowId) override { ++count_; }
+  void VisitExactRange(RowId begin, RowId end) override {
+    count_ += end - begin;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// SUM(column) accumulator. When the index supplies a PrefixSums side column
+/// (see set_prefix_sums), exact ranges are answered in O(1).
+class SumVisitor final : public Visitor {
+ public:
+  /// `column` is the aggregated column in the index's storage order.
+  explicit SumVisitor(const Column* column) : column_(column) {}
+
+  Kind kind() const override { return Kind::kSum; }
+
+  void set_prefix_sums(const PrefixSums* sums) { prefix_sums_ = sums; }
+
+  void VisitRow(RowId row) override {
+    sum_ += column_->Get(static_cast<size_t>(row));
+  }
+
+  void VisitExactRange(RowId begin, RowId end) override {
+    if (prefix_sums_ != nullptr && !prefix_sums_->empty()) {
+      sum_ += prefix_sums_->RangeSum(static_cast<size_t>(begin),
+                                     static_cast<size_t>(end));
+      return;
+    }
+    column_->ForEach(static_cast<size_t>(begin), static_cast<size_t>(end),
+                     [this](size_t, Value v) { sum_ += v; });
+  }
+
+  int64_t sum() const { return sum_; }
+
+ private:
+  const Column* column_;
+  const PrefixSums* prefix_sums_ = nullptr;
+  int64_t sum_ = 0;
+};
+
+/// Collects the (storage-order) row ids of all matches. Used by examples
+/// and correctness tests; result-set semantics, order not specified.
+class CollectVisitor final : public Visitor {
+ public:
+  Kind kind() const override { return Kind::kCollect; }
+  void VisitRow(RowId row) override { rows_.push_back(row); }
+  void VisitExactRange(RowId begin, RowId end) override {
+    for (RowId r = begin; r < end; ++r) rows_.push_back(r);
+  }
+
+  const std::vector<RowId>& rows() const { return rows_; }
+  std::vector<RowId>& mutable_rows() { return rows_; }
+
+ private:
+  std::vector<RowId> rows_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_QUERY_VISITOR_H_

@@ -1,0 +1,129 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace flood {
+
+DataSample DataSample::FromTable(const Table& table, size_t sample_size,
+                                 uint64_t seed) {
+  DataSample s;
+  const size_t n = table.num_rows();
+  const size_t d = table.num_dims();
+  const size_t k = std::min(sample_size, n);
+
+  // Choose k distinct row ids: Floyd's algorithm would avoid the full
+  // permutation, but a partial Fisher-Yates over an id vector is simple and
+  // build-time only.
+  std::vector<RowId> ids(n);
+  std::iota(ids.begin(), ids.end(), RowId{0});
+  Rng rng(seed);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n - i) - 1));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(k);
+  std::sort(ids.begin(), ids.end());  // Sequential-ish column access.
+
+  s.rows_.resize(d);
+  s.sorted_.resize(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    auto& col = s.rows_[dim];
+    col.reserve(k);
+    for (RowId r : ids) col.push_back(table.Get(r, dim));
+    s.sorted_[dim] = col;
+    std::sort(s.sorted_[dim].begin(), s.sorted_[dim].end());
+  }
+  return s;
+}
+
+double DataSample::Selectivity(size_t dim, const ValueRange& range) const {
+  FLOOD_DCHECK(dim < sorted_.size());
+  const auto& v = sorted_[dim];
+  if (v.empty()) return 0.0;
+  if (range.IsEmpty()) return 0.0;
+  const auto lo = std::lower_bound(v.begin(), v.end(), range.lo);
+  const auto hi = std::upper_bound(v.begin(), v.end(), range.hi);
+  return static_cast<double>(hi - lo) / static_cast<double>(v.size());
+}
+
+double DataSample::EstimatedQuerySelectivity(const Query& query) const {
+  double sel = 1.0;
+  for (size_t dim = 0; dim < query.num_dims() && dim < num_dims(); ++dim) {
+    if (!query.IsFiltered(dim)) continue;
+    sel *= Selectivity(dim, query.range(dim));
+  }
+  return sel;
+}
+
+double DataSample::MeasuredQuerySelectivity(const Query& query) const {
+  const size_t n = num_rows();
+  if (n == 0) return 0.0;
+  size_t matched = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool ok = true;
+    for (size_t dim = 0; dim < query.num_dims() && dim < num_dims(); ++dim) {
+      if (!query.IsFiltered(dim)) continue;
+      if (!query.range(dim).Contains(Get(i, dim))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(n);
+}
+
+double Workload::FilterFrequency(size_t dim) const {
+  if (queries_.empty()) return 0.0;
+  size_t n = 0;
+  for (const auto& q : queries_) {
+    if (dim < q.num_dims() && q.IsFiltered(dim)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(queries_.size());
+}
+
+double Workload::AvgSelectivity(size_t dim, const DataSample& sample) const {
+  if (queries_.empty()) return 1.0;
+  double total = 0.0;
+  for (const auto& q : queries_) {
+    if (dim < q.num_dims() && q.IsFiltered(dim)) {
+      total += sample.Selectivity(dim, q.range(dim));
+    } else {
+      total += 1.0;
+    }
+  }
+  return total / static_cast<double>(queries_.size());
+}
+
+Workload Workload::Sample(size_t n, uint64_t seed) const {
+  if (n >= queries_.size()) return *this;
+  std::vector<Query> qs = queries_;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.UniformInt(
+                             0, static_cast<int64_t>(qs.size() - i) - 1));
+    std::swap(qs[i], qs[j]);
+  }
+  qs.resize(n);
+  return Workload(std::move(qs));
+}
+
+std::pair<Workload, Workload> Workload::Split(double train_fraction,
+                                              uint64_t seed) const {
+  std::vector<Query> qs = queries_;
+  Rng rng(seed);
+  for (size_t i = qs.size(); i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(qs[i - 1], qs[j]);
+  }
+  const size_t n_train = static_cast<size_t>(
+      train_fraction * static_cast<double>(qs.size()));
+  Workload train(std::vector<Query>(qs.begin(), qs.begin() + n_train));
+  Workload test(std::vector<Query>(qs.begin() + n_train, qs.end()));
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace flood

@@ -1,0 +1,85 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace flood {
+
+Column Column::FromValues(std::vector<Value> values, Encoding encoding) {
+  Column col;
+  col.encoding_ = encoding;
+  col.size_ = values.size();
+  if (encoding == Encoding::kPlain) {
+    col.plain_ = std::move(values);
+    return col;
+  }
+
+  const size_t n = values.size();
+  const size_t num_blocks = (n + kBlockSize - 1) / kBlockSize;
+  col.block_min_.reserve(num_blocks);
+  col.block_width_.reserve(num_blocks);
+  col.block_bit_offset_.reserve(num_blocks);
+
+  uint64_t total_bits = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * kBlockSize;
+    const size_t end = std::min(n, begin + kBlockSize);
+    Value mn = values[begin];
+    Value mx = values[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+    // Delta fits in the unsigned difference; int64 subtraction could
+    // overflow for extreme ranges, so widen through uint64.
+    const uint64_t max_delta =
+        static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+    const uint32_t width = static_cast<uint32_t>(BitWidth(max_delta));
+    col.block_min_.push_back(mn);
+    col.block_width_.push_back(width);
+    col.block_bit_offset_.push_back(total_bits);
+    total_bits += static_cast<uint64_t>(kBlockSize) * width;
+  }
+
+  col.words_.assign((total_bits + 63) / 64 + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t b = i / kBlockSize;
+    const uint32_t width = col.block_width_[b];
+    if (width == 0) continue;
+    const uint64_t delta = static_cast<uint64_t>(values[i]) -
+                           static_cast<uint64_t>(col.block_min_[b]);
+    const uint64_t bit = col.block_bit_offset_[b] + (i % kBlockSize) * width;
+    const size_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    col.words_[word] |= delta << shift;
+    if (shift + width > 64) {
+      col.words_[word + 1] |= delta >> (64 - shift);
+    }
+  }
+  return col;
+}
+
+std::vector<Value> Column::Decode() const {
+  std::vector<Value> out(size_);
+  ForEach(0, size_, [&out](size_t i, Value v) { out[i] = v; });
+  return out;
+}
+
+size_t Column::MemoryUsageBytes() const {
+  if (encoding_ == Encoding::kPlain) return plain_.size() * sizeof(Value);
+  return block_min_.size() * sizeof(Value) +
+         block_width_.size() * sizeof(uint32_t) +
+         block_bit_offset_.size() * sizeof(uint64_t) +
+         words_.size() * sizeof(uint64_t);
+}
+
+PrefixSums::PrefixSums(const std::vector<Value>& values) {
+  sums_.resize(values.size() + 1);
+  sums_[0] = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    sums_[i + 1] = sums_[i] + values[i];
+  }
+}
+
+}  // namespace flood

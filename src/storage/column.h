@@ -1,0 +1,140 @@
+#ifndef FLOOD_STORAGE_COLUMN_H_
+#define FLOOD_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace flood {
+
+/// Attribute values are 64-bit signed integers (paper §7.1: strings are
+/// dictionary-encoded and decimals are scaled to integers before indexing).
+using Value = int64_t;
+using RowId = uint64_t;
+
+inline constexpr Value kValueMin = INT64_MIN;
+inline constexpr Value kValueMax = INT64_MAX;
+
+/// An immutable in-memory column.
+///
+/// Supports two encodings:
+///  * kPlain: a flat array of 64-bit values.
+///  * kBlockDelta: the paper's block-delta compression (§7.1) — values are
+///    grouped into blocks of 128; each value is stored as the delta to the
+///    block minimum, bit-packed with the narrowest width that fits the
+///    block. Element access stays O(1).
+class Column {
+ public:
+  enum class Encoding { kPlain, kBlockDelta };
+
+  static constexpr size_t kBlockSize = 128;
+
+  Column() = default;
+
+  /// Builds a column from `values` using the requested encoding.
+  static Column FromValues(std::vector<Value> values,
+                           Encoding encoding = Encoding::kBlockDelta);
+
+  /// Number of values.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Encoding encoding() const { return encoding_; }
+
+  /// Random access; constant time under both encodings.
+  Value Get(size_t i) const {
+    FLOOD_DCHECK(i < size_);
+    if (encoding_ == Encoding::kPlain) return plain_[i];
+    return GetBlockDelta(i);
+  }
+
+  /// Calls f(index, value) for every index in [begin, end). Decodes
+  /// block-wise, which is considerably faster than repeated Get() for
+  /// sequential scans.
+  template <typename F>
+  void ForEach(size_t begin, size_t end, F&& f) const {
+    FLOOD_DCHECK(begin <= end && end <= size_);
+    if (encoding_ == Encoding::kPlain) {
+      for (size_t i = begin; i < end; ++i) f(i, plain_[i]);
+      return;
+    }
+    size_t i = begin;
+    while (i < end) {
+      const size_t block = i / kBlockSize;
+      const size_t block_end = std::min(end, (block + 1) * kBlockSize);
+      const Value base = block_min_[block];
+      const uint32_t width = block_width_[block];
+      const uint64_t bit_base = block_bit_offset_[block];
+      for (; i < block_end; ++i) {
+        const uint64_t bit = bit_base + (i % kBlockSize) * width;
+        f(i, base + static_cast<Value>(ExtractBits(bit, width)));
+      }
+    }
+  }
+
+  /// Materializes the column into a flat vector.
+  std::vector<Value> Decode() const;
+
+  /// Heap footprint of the encoded representation, in bytes.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  Value GetBlockDelta(size_t i) const {
+    const size_t block = i / kBlockSize;
+    const uint32_t width = block_width_[block];
+    const uint64_t bit =
+        block_bit_offset_[block] + (i % kBlockSize) * width;
+    return block_min_[block] + static_cast<Value>(ExtractBits(bit, width));
+  }
+
+  /// Reads `width` bits starting at absolute bit offset `bit` from words_.
+  uint64_t ExtractBits(uint64_t bit, uint32_t width) const {
+    if (width == 0) return 0;
+    const size_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    uint64_t v = words_[word] >> shift;
+    if (shift + width > 64) {
+      v |= words_[word + 1] << (64 - shift);
+    }
+    if (width == 64) return v;
+    return v & ((uint64_t{1} << width) - 1);
+  }
+
+  Encoding encoding_ = Encoding::kPlain;
+  size_t size_ = 0;
+
+  // kPlain storage.
+  std::vector<Value> plain_;
+
+  // kBlockDelta storage.
+  std::vector<Value> block_min_;
+  std::vector<uint32_t> block_width_;
+  std::vector<uint64_t> block_bit_offset_;
+  std::vector<uint64_t> words_;
+};
+
+/// Prefix-sum side column enabling O(1) SUM over exact ranges (§7.1
+/// optimization 2). sums[i] = sum of values[0..i).
+class PrefixSums {
+ public:
+  PrefixSums() = default;
+
+  /// Builds prefix sums over `values`.
+  explicit PrefixSums(const std::vector<Value>& values);
+
+  /// Sum of values in [begin, end).
+  int64_t RangeSum(size_t begin, size_t end) const {
+    FLOOD_DCHECK(begin <= end && end < sums_.size());
+    return sums_[end] - sums_[begin];
+  }
+
+  bool empty() const { return sums_.size() <= 1; }
+  size_t MemoryUsageBytes() const { return sums_.size() * sizeof(int64_t); }
+
+ private:
+  std::vector<int64_t> sums_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_STORAGE_COLUMN_H_

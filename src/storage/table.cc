@@ -1,0 +1,76 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace flood {
+
+StatusOr<Table> Table::FromColumns(std::vector<std::vector<Value>> columns,
+                                   Column::Encoding encoding,
+                                   std::vector<std::string> names) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("table requires at least one column");
+  }
+  const size_t n = columns[0].size();
+  for (const auto& c : columns) {
+    if (c.size() != n) {
+      return Status::InvalidArgument("columns must have equal length");
+    }
+  }
+  if (!names.empty() && names.size() != columns.size()) {
+    return Status::InvalidArgument("names must match number of columns");
+  }
+
+  Table t;
+  t.num_rows_ = n;
+  t.columns_.reserve(columns.size());
+  t.min_.reserve(columns.size());
+  t.max_.reserve(columns.size());
+  for (size_t d = 0; d < columns.size(); ++d) {
+    Value mn = kValueMax;
+    Value mx = kValueMin;
+    for (Value v : columns[d]) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    if (n == 0) {
+      mn = 0;
+      mx = 0;
+    }
+    t.min_.push_back(mn);
+    t.max_.push_back(mx);
+    t.columns_.push_back(Column::FromValues(std::move(columns[d]), encoding));
+  }
+  if (names.empty()) {
+    for (size_t d = 0; d < t.columns_.size(); ++d) {
+      t.names_.push_back("dim" + std::to_string(d));
+    }
+  } else {
+    t.names_ = std::move(names);
+  }
+  return t;
+}
+
+Table Table::Reorder(const std::vector<RowId>& perm) const {
+  FLOOD_CHECK(perm.size() == num_rows_);
+  std::vector<std::vector<Value>> cols(num_dims());
+  for (size_t d = 0; d < num_dims(); ++d) {
+    const std::vector<Value> src = columns_[d].Decode();
+    std::vector<Value>& dst = cols[d];
+    dst.resize(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      dst[i] = src[static_cast<size_t>(perm[i])];
+    }
+  }
+  StatusOr<Table> t =
+      FromColumns(std::move(cols), columns_[0].encoding(), names_);
+  FLOOD_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+size_t Table::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace flood

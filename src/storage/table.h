@@ -1,0 +1,74 @@
+#ifndef FLOOD_STORAGE_TABLE_H_
+#define FLOOD_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace flood {
+
+/// An immutable in-memory columnar table: `num_dims()` columns of equal
+/// length. This is the substrate every index in this repository builds on.
+///
+/// Indexes are *clustered*: they define a row order and are built over a
+/// reordered copy of the table (see Reorder()).
+class Table {
+ public:
+  Table() = default;
+
+  /// Builds a table from per-dimension value vectors. All vectors must have
+  /// equal length. Column names are optional ("dim0", "dim1", ... if empty).
+  static StatusOr<Table> FromColumns(
+      std::vector<std::vector<Value>> columns,
+      Column::Encoding encoding = Column::Encoding::kBlockDelta,
+      std::vector<std::string> names = {});
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_dims() const { return columns_.size(); }
+
+  const Column& column(size_t dim) const {
+    FLOOD_DCHECK(dim < columns_.size());
+    return columns_[dim];
+  }
+
+  const std::string& name(size_t dim) const { return names_[dim]; }
+
+  /// Value of `dim` at row `row` (O(1)).
+  Value Get(RowId row, size_t dim) const {
+    return columns_[dim].Get(static_cast<size_t>(row));
+  }
+
+  /// Materializes one column as a flat vector (used at index build time).
+  std::vector<Value> DecodeColumn(size_t dim) const {
+    return columns_[dim].Decode();
+  }
+
+  /// Minimum/maximum value in a dimension (precomputed at construction).
+  Value min_value(size_t dim) const { return min_[dim]; }
+  Value max_value(size_t dim) const { return max_[dim]; }
+
+  /// Returns a copy of this table with rows permuted so that new row i is
+  /// old row perm[i]. `perm` must be a permutation of [0, num_rows).
+  Table Reorder(const std::vector<RowId>& perm) const;
+
+  /// Total bytes across encoded columns.
+  size_t MemoryUsageBytes() const;
+
+  /// Bytes the table would occupy as raw uncompressed 64-bit values.
+  size_t UncompressedBytes() const {
+    return num_rows_ * num_dims() * sizeof(Value);
+  }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+  std::vector<std::string> names_;
+  std::vector<Value> min_;
+  std::vector<Value> max_;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_STORAGE_TABLE_H_

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "baselines/clustered_index.h"
+#include "baselines/grid_file.h"
+#include "baselines/hyperoctree.h"
+#include "baselines/kd_tree.h"
+#include "baselines/r_tree.h"
+#include "baselines/ub_tree.h"
+#include "baselines/zorder_index.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::DataShape;
+using testing::MakeTable;
+
+BuildContext Ctx(const Table& t) {
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(t, 1000, 3);
+  return ctx;
+}
+
+TEST(ClusteredStructureTest, DataSortedBySortDim) {
+  const Table t = MakeTable(DataShape::kSkewed, 5000, 3, 1);
+  ClusteredColumnIndex::Options o;
+  o.sort_dim = 1;
+  ClusteredColumnIndex index(o);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  EXPECT_EQ(index.sort_dim(), 1u);
+  Value prev = kValueMin;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    const Value v = index.data().Get(r, 1);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KdTreeStructureTest, LeafSizesRespectPageBudget) {
+  const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 2);
+  KdTreeIndex::Options o;
+  o.page_size = 256;
+  KdTreeIndex index(o);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  // n/page lower bound; duplicates can force larger leaves on other shapes.
+  EXPECT_GE(index.num_leaves(), 20'000u / 256u);
+}
+
+TEST(HyperoctreeStructureTest, LeafCountScalesWithPageSize) {
+  const Table t = MakeTable(DataShape::kClustered, 20'000, 3, 3);
+  HyperoctreeIndex::Options small;
+  small.page_size = 128;
+  HyperoctreeIndex::Options large;
+  large.page_size = 4096;
+  HyperoctreeIndex a(small);
+  HyperoctreeIndex b(large);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(a.Build(t, ctx).ok());
+  ASSERT_TRUE(b.Build(t, ctx).ok());
+  EXPECT_GT(a.num_leaves(), b.num_leaves());
+  EXPECT_GT(a.IndexSizeBytes(), b.IndexSizeBytes());
+}
+
+TEST(RTreeStructureTest, HeightAndLeaves) {
+  const Table t = MakeTable(DataShape::kUniform, 30'000, 3, 4);
+  RTreeIndex::Options o;
+  o.leaf_capacity = 128;
+  o.fanout = 8;
+  RTreeIndex index(o);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  EXPECT_GE(index.num_leaves(), 30'000u / 128u);
+  EXPECT_GE(index.height(), 3);  // ~235 leaves at fanout 8.
+}
+
+TEST(GridFileStructureTest, BucketsPartitionRows) {
+  const Table t = MakeTable(DataShape::kUniform, 10'000, 3, 5);
+  GridFileIndex::Options o;
+  o.page_size = 512;
+  GridFileIndex index(o);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  EXPECT_GT(index.num_buckets(), 1u);
+}
+
+TEST(GridFileStructureTest, BudgetTripsOnPathologicalSkew) {
+  // A dimension where most mass piles on a single value with a huge
+  // outlier range forces midpoint splits to keep missing the mass; the
+  // directory budget must trip rather than hang (paper: N/A entries).
+  Rng rng(6);
+  const size_t n = 30'000;
+  std::vector<Value> spike(n);
+  std::vector<Value> other(n);
+  for (size_t i = 0; i < n; ++i) {
+    // 99.9% of values identical; rare huge outliers.
+    spike[i] = rng.NextDouble() < 0.999 ? 0 : rng.UniformInt(1, int64_t{1} << 60);
+    other[i] = rng.UniformInt(0, 1000);
+  }
+  StatusOr<Table> t = Table::FromColumns({spike, other});
+  ASSERT_TRUE(t.ok());
+  GridFileIndex::Options o;
+  o.page_size = 64;
+  o.max_directory_entries = 1 << 12;
+  GridFileIndex index(o);
+  const BuildContext ctx = Ctx(*t);
+  const Status s = index.Build(*t, ctx);
+  // Either it finishes within budget or fails cleanly — never hangs/crashes.
+  if (!s.ok()) {
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ZOrderStructureTest, PageSizeControlsMetadataFootprint) {
+  const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 7);
+  ZOrderIndex::Options small;
+  small.page_size = 128;
+  ZOrderIndex::Options large;
+  large.page_size = 2048;
+  ZOrderIndex a(small);
+  ZOrderIndex b(large);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(a.Build(t, ctx).ok());
+  ASSERT_TRUE(b.Build(t, ctx).ok());
+  EXPECT_GT(a.IndexSizeBytes(), b.IndexSizeBytes());
+}
+
+TEST(UbTreeStructureTest, SkippingScansFewerPointsThanZOrderOnSparseBoxes) {
+  // A query box tiny in both dims: the Z curve enters/exits repeatedly, so
+  // BIGMIN skipping should visit far fewer points than the naive z-range.
+  const Table t = MakeTable(DataShape::kUniform, 50'000, 2, 8);
+  UbTreeIndex ub;
+  ZOrderIndex::Options zo;
+  zo.page_size = 256;
+  ZOrderIndex z(zo);
+  const BuildContext ctx = Ctx(t);
+  ASSERT_TRUE(ub.Build(t, ctx).ok());
+  ASSERT_TRUE(z.Build(t, ctx).ok());
+  Query q = QueryBuilder(2)
+                .Range(0, 500'000, 520'000)
+                .Range(1, 500'000, 520'000)
+                .Build();
+  QueryStats ub_stats;
+  QueryStats z_stats;
+  CountVisitor v1;
+  CountVisitor v2;
+  ub.Execute(q, v1, &ub_stats);
+  z.Execute(q, v2, &z_stats);
+  EXPECT_EQ(v1.count(), v2.count());
+  EXPECT_LT(ub_stats.points_scanned, z_stats.points_scanned + 1);
+}
+
+TEST(BaselineSizeTest, IndexSizesArePositiveAndOrdered) {
+  const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 9);
+  const BuildContext ctx = Ctx(t);
+  UbTreeIndex ub;
+  ASSERT_TRUE(ub.Build(t, ctx).ok());
+  // UB-tree stores per-point keys: by far the largest.
+  ZOrderIndex z;
+  ASSERT_TRUE(z.Build(t, ctx).ok());
+  EXPECT_GT(ub.IndexSizeBytes(), z.IndexSizeBytes());
+  EXPECT_GT(z.IndexSizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace flood

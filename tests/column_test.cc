@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "data/distributions.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+
+namespace flood {
+namespace {
+
+using Encoding = Column::Encoding;
+
+class ColumnRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<Encoding, size_t>> {};
+
+TEST_P(ColumnRoundTripTest, UniformValues) {
+  const auto [encoding, n] = GetParam();
+  Rng rng(42);
+  std::vector<Value> values = UniformColumn(n, -1'000'000, 1'000'000, rng);
+  const Column col = Column::FromValues(values, encoding);
+  ASSERT_EQ(col.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(col.Get(i), values[i]) << i;
+  EXPECT_EQ(col.Decode(), values);
+}
+
+TEST_P(ColumnRoundTripTest, SkewedValues) {
+  const auto [encoding, n] = GetParam();
+  Rng rng(43);
+  std::vector<Value> values = LognormalColumn(n, 8.0, 2.0, 1.0, rng);
+  const Column col = Column::FromValues(values, encoding);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(col.Get(i), values[i]) << i;
+}
+
+TEST_P(ColumnRoundTripTest, ConstantValues) {
+  const auto [encoding, n] = GetParam();
+  std::vector<Value> values(n, 7777);
+  const Column col = Column::FromValues(values, encoding);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(col.Get(i), 7777) << i;
+}
+
+TEST_P(ColumnRoundTripTest, ExtremeValues) {
+  const auto [encoding, n] = GetParam();
+  Rng rng(44);
+  std::vector<Value> values(n);
+  for (auto& v : values) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.3) {
+      v = kValueMin;
+    } else if (roll < 0.6) {
+      v = kValueMax;
+    } else {
+      v = rng.UniformInt(kValueMin, kValueMax);
+    }
+  }
+  const Column col = Column::FromValues(values, encoding);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(col.Get(i), values[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Encodings, ColumnRoundTripTest,
+    ::testing::Combine(::testing::Values(Encoding::kPlain,
+                                         Encoding::kBlockDelta),
+                       ::testing::Values(size_t{1}, size_t{127}, size_t{128},
+                                         size_t{129}, size_t{1000},
+                                         size_t{4096})),
+    [](const auto& info) {
+      const Encoding enc = std::get<0>(info.param);
+      const size_t n = std::get<1>(info.param);
+      return std::string(enc == Encoding::kPlain ? "Plain" : "BlockDelta") +
+             "_" + std::to_string(n);
+    });
+
+TEST(ColumnTest, ForEachMatchesGet) {
+  Rng rng(45);
+  std::vector<Value> values = UniformColumn(5000, 0, 1000, rng);
+  const Column col = Column::FromValues(values, Encoding::kBlockDelta);
+  // Sub-range not aligned to block boundaries.
+  size_t calls = 0;
+  col.ForEach(100, 4321, [&](size_t i, Value v) {
+    EXPECT_EQ(v, values[i]);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4321u - 100u);
+}
+
+TEST(ColumnTest, ForEachEmptyRange) {
+  const Column col =
+      Column::FromValues({1, 2, 3}, Encoding::kBlockDelta);
+  size_t calls = 0;
+  col.ForEach(2, 2, [&](size_t, Value) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(ColumnTest, BlockDeltaCompressesNarrowData) {
+  Rng rng(46);
+  // Values in a narrow band: deltas fit in few bits.
+  std::vector<Value> values = UniformColumn(100'000, 1'000'000, 1'000'255,
+                                            rng);
+  const Column compressed =
+      Column::FromValues(values, Encoding::kBlockDelta);
+  const Column plain = Column::FromValues(values, Encoding::kPlain);
+  EXPECT_LT(compressed.MemoryUsageBytes(), plain.MemoryUsageBytes() / 4);
+}
+
+TEST(ColumnTest, EmptyColumn) {
+  const Column col = Column::FromValues({}, Encoding::kBlockDelta);
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_TRUE(col.empty());
+  EXPECT_TRUE(col.Decode().empty());
+}
+
+TEST(PrefixSumsTest, RangeSums) {
+  PrefixSums sums({1, 2, 3, 4, 5});
+  EXPECT_EQ(sums.RangeSum(0, 5), 15);
+  EXPECT_EQ(sums.RangeSum(1, 3), 5);
+  EXPECT_EQ(sums.RangeSum(2, 2), 0);
+  EXPECT_EQ(sums.RangeSum(4, 5), 5);
+}
+
+TEST(PrefixSumsTest, NegativeValues) {
+  PrefixSums sums({-5, 10, -3});
+  EXPECT_EQ(sums.RangeSum(0, 3), 2);
+  EXPECT_EQ(sums.RangeSum(0, 1), -5);
+}
+
+TEST(PrefixSumsTest, EmptyIsEmpty) {
+  PrefixSums sums;
+  EXPECT_TRUE(sums.empty());
+  PrefixSums sums2(std::vector<Value>{});
+  EXPECT_TRUE(sums2.empty());
+}
+
+TEST(DictionaryTest, EncodeDecodeRoundTrip) {
+  Dictionary dict;
+  const Value a = dict.Encode("apple");
+  const Value b = dict.Encode("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Encode("apple"), a);  // Idempotent.
+  EXPECT_EQ(dict.Decode(a), "apple");
+  EXPECT_EQ(dict.Decode(b), "banana");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupMissingReturnsMinusOne) {
+  Dictionary dict;
+  dict.Encode("x");
+  EXPECT_EQ(dict.Lookup("y"), -1);
+  EXPECT_EQ(dict.Lookup("x"), 0);
+}
+
+TEST(DictionaryTest, FinalizeOrdersLexicographically) {
+  Dictionary dict;
+  const Value zebra = dict.Encode("zebra");
+  const Value apple = dict.Encode("apple");
+  const Value mango = dict.Encode("mango");
+  const std::vector<Value> mapping = dict.Finalize();
+  // After finalize, codes sort like strings.
+  EXPECT_EQ(mapping[static_cast<size_t>(apple)], 0);
+  EXPECT_EQ(mapping[static_cast<size_t>(mango)], 1);
+  EXPECT_EQ(mapping[static_cast<size_t>(zebra)], 2);
+  EXPECT_EQ(dict.Decode(0), "apple");
+  EXPECT_EQ(dict.Decode(2), "zebra");
+  EXPECT_EQ(dict.Lookup("mango"), 1);
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "data/datasets.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::DataShape;
+using testing::MakeTable;
+
+Workload SmallWorkload(const Table& t, size_t n, uint64_t seed) {
+  Workload w;
+  for (size_t i = 0; i < n; ++i) w.Add(testing::RandomQuery(t, seed + i));
+  return w;
+}
+
+TEST(CostFeaturesTest, FromStatsComputesRatios) {
+  QueryStats stats;
+  stats.cells_visited = 10;
+  stats.points_scanned = 1000;
+  stats.points_exact = 400;
+  stats.ranges_scanned = 5;
+  GridLayout layout = GridLayout::Default(3, 100);
+  Query q = QueryBuilder(3).Range(0, 0, 5).Range(2, 0, 5).Build();
+  const auto f =
+      CostModel::Features::FromStats(stats, q, layout, /*table_rows=*/5000);
+  EXPECT_DOUBLE_EQ(f.nc, 10.0);
+  EXPECT_DOUBLE_EQ(f.ns, 1000.0);
+  EXPECT_DOUBLE_EQ(f.dims_filtered, 2.0);
+  EXPECT_DOUBLE_EQ(f.avg_visited_per_cell, 100.0);
+  EXPECT_DOUBLE_EQ(f.exact_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(f.avg_run_length, 200.0);
+  EXPECT_DOUBLE_EQ(f.sort_filtered, 1.0);  // dim2 is Default()'s sort dim.
+  EXPECT_EQ(f.ToVector().size(), 9u);
+}
+
+TEST(CostModelTest, DefaultModelPredictsEquationOne) {
+  const CostModel model = CostModel::Default();
+  CostModel::Features f;
+  f.nc = 10;
+  f.ns = 1000;
+  f.sort_filtered = 1;
+  const double with_refine = model.PredictQueryTimeNs(f);
+  f.sort_filtered = 0;
+  const double without = model.PredictQueryTimeNs(f);
+  EXPECT_GT(with_refine, without);  // w_r only applies when sort filtered.
+  EXPECT_GT(without, 0.0);
+  // Doubling Ns should increase predicted time.
+  CostModel::Features f2 = f;
+  f2.ns = 2000;
+  EXPECT_GT(model.PredictQueryTimeNs(f2), model.PredictQueryTimeNs(f));
+}
+
+TEST(CostModelTest, GenerateExamplesProducesPlausibleWeights) {
+  const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 21);
+  const Workload w = SmallWorkload(t, 20, 500);
+  CostModel::CalibrationOptions opts;
+  opts.num_layouts = 3;
+  opts.max_queries = 20;
+  opts.max_cells = 1 << 10;
+  const auto examples = CostModel::GenerateExamples(t, w, opts);
+  ASSERT_TRUE(examples.ok()) << examples.status().ToString();
+  EXPECT_GT(examples->size(), 20u);
+  for (const auto& ex : *examples) {
+    EXPECT_GE(ex.wp, 0.0);
+    EXPECT_GE(ex.wr, 0.0);
+    EXPECT_GE(ex.ws, 0.0);
+    EXPECT_LT(ex.ws, 1e6) << "per-point scan cost should be well under 1ms";
+    EXPECT_GT(ex.features.nc, 0.0);
+  }
+}
+
+TEST(CostModelTest, CalibrateTrainsAllPredictorFamilies) {
+  const Table t = MakeTable(DataShape::kUniform, 15'000, 3, 22);
+  const Workload w = SmallWorkload(t, 15, 600);
+  for (CostModel::Predictor p :
+       {CostModel::Predictor::kConstant, CostModel::Predictor::kLinear,
+        CostModel::Predictor::kForest}) {
+    CostModel::CalibrationOptions opts;
+    opts.num_layouts = 2;
+    opts.max_queries = 15;
+    opts.max_cells = 1 << 10;
+    opts.predictor = p;
+    const auto model = CostModel::Calibrate(t, w, opts);
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(model->predictor(), p);
+    CostModel::Features f;
+    f.nc = 50;
+    f.ns = 5000;
+    f.total_cells = 1024;
+    f.avg_cell_size = 15;
+    f.sort_filtered = 1;
+    f.avg_visited_per_cell = 100;
+    f.avg_run_length = 100;
+    const double cost = model->PredictQueryTimeNs(f);
+    EXPECT_TRUE(std::isfinite(cost));
+    EXPECT_GT(cost, 0.0);
+  }
+}
+
+TEST(CostModelTest, RejectsEmptyInputs) {
+  const Table t = MakeTable(DataShape::kUniform, 100, 2, 23);
+  CostModel::CalibrationOptions opts;
+  EXPECT_FALSE(CostModel::Calibrate(t, Workload(), opts).ok());
+}
+
+TEST(CostMonitorTest, SignalsDegradation) {
+  CostMonitor monitor(/*degradation_threshold=*/2.0, /*ewma_alpha=*/0.5);
+  monitor.Rebase(100.0);
+  EXPECT_FALSE(monitor.ShouldRetrain());
+  monitor.Observe(110);
+  EXPECT_FALSE(monitor.ShouldRetrain());
+  for (int i = 0; i < 20; ++i) monitor.Observe(1000);
+  EXPECT_TRUE(monitor.ShouldRetrain());
+  monitor.Rebase(1000.0);  // Retrained: new baseline.
+  EXPECT_FALSE(monitor.ShouldRetrain());
+}
+
+}  // namespace
+}  // namespace flood

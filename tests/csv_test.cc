@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flood_index.h"
+#include "data/csv.h"
+#include "query/executor.h"
+
+namespace flood {
+namespace {
+
+TEST(CsvReadTest, IntegerColumns) {
+  const auto csv = ReadCsvString("a,b\n1,10\n2,20\n-3,30\n");
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  EXPECT_EQ(csv->table.num_rows(), 3u);
+  EXPECT_EQ(csv->table.num_dims(), 2u);
+  EXPECT_EQ(csv->table.name(0), "a");
+  EXPECT_EQ(csv->table.Get(2, 0), -3);
+  EXPECT_EQ(csv->table.Get(1, 1), 20);
+  EXPECT_EQ(csv->dictionaries[0].size(), 0u);  // Pure integer.
+}
+
+TEST(CsvReadTest, StringColumnsDictionaryEncodedLexicographically) {
+  const auto csv =
+      ReadCsvString("city,pop\nzurich,400\namsterdam,800\nboston,650\n");
+  ASSERT_TRUE(csv.ok());
+  const Dictionary& dict = csv->dictionaries[0];
+  ASSERT_EQ(dict.size(), 3u);
+  // Codes sort like strings: amsterdam < boston < zurich.
+  EXPECT_EQ(dict.Lookup("amsterdam"), 0);
+  EXPECT_EQ(dict.Lookup("boston"), 1);
+  EXPECT_EQ(dict.Lookup("zurich"), 2);
+  EXPECT_EQ(csv->table.Get(0, 0), 2);  // zurich
+  EXPECT_EQ(csv->table.Get(1, 0), 0);  // amsterdam
+  // Encoded range predicates behave like string ranges.
+  EXPECT_LT(csv->table.Get(1, 0), csv->table.Get(2, 0));
+}
+
+TEST(CsvReadTest, QuotedFieldsAndEscapes) {
+  const auto csv = ReadCsvString(
+      "name,n\n\"doe, jane\",1\n\"say \"\"hi\"\"\",2\n");
+  ASSERT_TRUE(csv.ok());
+  const Dictionary& dict = csv->dictionaries[0];
+  EXPECT_NE(dict.Lookup("doe, jane"), -1);
+  EXPECT_NE(dict.Lookup("say \"hi\""), -1);
+}
+
+TEST(CsvReadTest, QuotedNewlineInsideField) {
+  const auto csv = ReadCsvString("note,n\n\"line1\nline2\",5\n");
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->table.num_rows(), 1u);
+  EXPECT_NE(csv->dictionaries[0].Lookup("line1\nline2"), -1);
+}
+
+TEST(CsvReadTest, NoHeaderAndCustomDelimiter) {
+  CsvOptions opts;
+  opts.has_header = false;
+  opts.delimiter = '\t';
+  const auto csv = ReadCsvString("1\t2\n3\t4\n", opts);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->table.num_rows(), 2u);
+  EXPECT_EQ(csv->column_names[0], "col0");
+  EXPECT_EQ(csv->table.Get(1, 1), 4);
+}
+
+TEST(CsvReadTest, EmptyCellsUseNullValue) {
+  CsvOptions opts;
+  opts.null_value = -1;
+  const auto csv = ReadCsvString("a,b\n1,\n,2\n", opts);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->table.Get(0, 1), -1);
+  EXPECT_EQ(csv->table.Get(1, 0), -1);
+}
+
+TEST(CsvReadTest, Errors) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\n").ok());          // Header only.
+  EXPECT_FALSE(ReadCsvString("a,b\n1,2\n3\n").ok());  // Ragged row.
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/x.csv").ok());
+}
+
+TEST(CsvRoundTripTest, WriteThenReadBack) {
+  const auto csv = ReadCsvString(
+      "city,visits\nboston,10\nnyc,30\nboston,20\n");
+  ASSERT_TRUE(csv.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(csv->table, csv->dictionaries, out).ok());
+  const auto again = ReadCsvString(out.str());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->table.num_rows(), csv->table.num_rows());
+  for (RowId r = 0; r < csv->table.num_rows(); ++r) {
+    for (size_t c = 0; c < csv->table.num_dims(); ++c) {
+      EXPECT_EQ(again->table.Get(r, c), csv->table.Get(r, c));
+    }
+  }
+}
+
+TEST(CsvIntegrationTest, IngestThenIndexThenQuery) {
+  // End-to-end: CSV -> table -> Flood -> query with a string predicate.
+  std::string csv_text = "region,amount\n";
+  const char* regions[] = {"east", "north", "south", "west"};
+  for (int i = 0; i < 400; ++i) {
+    csv_text += regions[i % 4];
+    csv_text += "," + std::to_string(i) + "\n";
+  }
+  const auto csv = ReadCsvString(csv_text);
+  ASSERT_TRUE(csv.ok());
+
+  FloodIndex::Options o;
+  o.layout.dim_order = {0, 1};
+  o.layout.columns = {4};
+  FloodIndex index(o);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(csv->table, 400, 1);
+  ASSERT_TRUE(index.Build(csv->table, ctx).ok());
+
+  const Value north = csv->dictionaries[0].Lookup("north");
+  ASSERT_NE(north, -1);
+  Query q = QueryBuilder(2).Equals(0, north).Count().Build();
+  EXPECT_EQ(ExecuteAggregate(index, q, nullptr).count, 100u);
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "query/workload.h"
+
+namespace flood {
+namespace {
+
+class DatasetTest
+    : public ::testing::TestWithParam<BenchDataset (*)(size_t, uint64_t)> {};
+
+TEST_P(DatasetTest, ShapeAndDeterminism) {
+  BenchDataset a = GetParam()(5000, 42);
+  BenchDataset b = GetParam()(5000, 42);
+  EXPECT_EQ(a.table.num_rows(), 5000u);
+  EXPECT_GE(a.table.num_dims(), 6u);
+  EXPECT_FALSE(a.olap_specs.empty());
+  EXPECT_FALSE(a.key_dims.empty());
+  // Deterministic generation.
+  for (size_t dim = 0; dim < a.table.num_dims(); ++dim) {
+    for (RowId r = 0; r < 100; ++r) {
+      ASSERT_EQ(a.table.Get(r, dim), b.table.Get(r, dim));
+    }
+  }
+  // Specs reference valid dims.
+  for (const auto& spec : a.olap_specs) {
+    for (size_t dim : spec.range_dims) EXPECT_LT(dim, a.table.num_dims());
+    for (size_t dim : spec.eq_dims) EXPECT_LT(dim, a.table.num_dims());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetTest,
+    ::testing::Values(&MakeSalesDataset, &MakeOsmDataset,
+                      &MakePerfmonDataset, &MakeTpchDataset),
+    [](const auto& info) {
+      if (info.param == &MakeSalesDataset) return std::string("Sales");
+      if (info.param == &MakeOsmDataset) return std::string("Osm");
+      if (info.param == &MakePerfmonDataset) return std::string("Perfmon");
+      return std::string("Tpch");
+    });
+
+TEST(DatasetTest, UniformDatasetDims) {
+  const BenchDataset ds = MakeUniformDataset(1000, 9, 1);
+  EXPECT_EQ(ds.table.num_dims(), 9u);
+  EXPECT_EQ(ds.table.num_rows(), 1000u);
+}
+
+TEST(WorkloadGenTest, SelectivityHitsTarget) {
+  const BenchDataset ds = MakeTpchDataset(60'000, 7);
+  const Workload w = MakeWorkload(ds, WorkloadKind::kOlapSkewed, 60, 8);
+  const DataSample sample = DataSample::FromTable(ds.table, 30'000, 9);
+  double total = 0;
+  for (const Query& q : w) total += sample.MeasuredQuerySelectivity(q);
+  const double avg = total / static_cast<double>(w.size());
+  // Paper target 0.1%; generator should land within ~4x either way.
+  EXPECT_GT(avg, 0.00025);
+  EXPECT_LT(avg, 0.004);
+}
+
+TEST(WorkloadGenTest, OltpWorkloadsArePointLookups) {
+  const BenchDataset ds = MakeSalesDataset(20'000, 11);
+  const Workload w = MakeWorkload(ds, WorkloadKind::kOltpSingleKey, 20, 12);
+  for (const Query& q : w) {
+    EXPECT_EQ(q.NumFiltered(), 1u);
+    const size_t dim = ds.key_dims[0];
+    EXPECT_TRUE(q.IsFiltered(dim));
+    EXPECT_EQ(q.range(dim).lo, q.range(dim).hi);  // Equality.
+  }
+  const Workload w2 = MakeWorkload(ds, WorkloadKind::kOltpTwoKey, 20, 13);
+  for (const Query& q : w2) EXPECT_EQ(q.NumFiltered(), 2u);
+}
+
+TEST(WorkloadGenTest, FewerDimsUsesStrictSubset) {
+  const BenchDataset ds = MakeOsmDataset(20'000, 14);
+  const size_t cutoff = (ds.table.num_dims() + 1) / 2;
+  const Workload w = MakeWorkload(ds, WorkloadKind::kFewerDims, 30, 15);
+  for (const Query& q : w) {
+    for (size_t dim = cutoff; dim < q.num_dims(); ++dim) {
+      EXPECT_FALSE(q.IsFiltered(dim));
+    }
+  }
+}
+
+TEST(WorkloadGenTest, ManyDimsFiltersEverything) {
+  const BenchDataset ds = MakeTpchDataset(20'000, 16);
+  const Workload w = MakeWorkload(ds, WorkloadKind::kManyDims, 10, 17);
+  for (const Query& q : w) {
+    EXPECT_EQ(q.NumFiltered(), ds.table.num_dims());
+  }
+}
+
+TEST(WorkloadGenTest, SingleTypeIsHomogeneous) {
+  const BenchDataset ds = MakePerfmonDataset(20'000, 18);
+  const Workload w = MakeWorkload(ds, WorkloadKind::kSingleType, 25, 19);
+  const auto& spec = ds.olap_specs[0];
+  for (const Query& q : w) {
+    for (size_t dim : spec.range_dims) EXPECT_TRUE(q.IsFiltered(dim));
+    for (size_t dim : spec.eq_dims) EXPECT_TRUE(q.IsFiltered(dim));
+  }
+}
+
+TEST(WorkloadGenTest, RandomWorkloadsVaryAcrossSeeds) {
+  const BenchDataset ds = MakeTpchDataset(20'000, 20);
+  const Workload a = MakeRandomWorkload(ds, 20, 10, 100);
+  const Workload b = MakeRandomWorkload(ds, 20, 10, 200);
+  // Different seeds should produce observably different filter patterns.
+  size_t differing = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t dim = 0; dim < ds.table.num_dims(); ++dim) {
+      if (a[i].IsFiltered(dim) != b[i].IsFiltered(dim)) {
+        ++differing;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(differing, 5u);
+}
+
+TEST(WorkloadGenTest, DimensionSweepCoversPrefixes) {
+  const BenchDataset ds = MakeUniformDataset(20'000, 6, 21);
+  const Workload w = MakeDimensionSweepWorkload(ds, 100, 22);
+  std::vector<bool> seen(ds.table.num_dims() + 1, false);
+  for (const Query& q : w) {
+    const size_t k = q.NumFiltered();
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, ds.table.num_dims());
+    seen[k] = true;
+    // Filters occupy the first k dims.
+    for (size_t dim = 0; dim < k; ++dim) EXPECT_TRUE(q.IsFiltered(dim));
+  }
+  size_t count = 0;
+  for (bool s : seen) count += s ? 1 : 0;
+  EXPECT_GE(count, 4u);  // Most prefix lengths exercised.
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/delta_buffer.h"
+#include "core/flood_index.h"
+#include "query/executor.h"
+#include "query/visitor.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+TEST(DeltaBufferTest, InsertAndScan) {
+  DeltaBuffer buffer(2);
+  ASSERT_TRUE(buffer.Insert({10, 100}).ok());
+  ASSERT_TRUE(buffer.Insert({20, 200}).ok());
+  ASSERT_TRUE(buffer.Insert({30, 300}).ok());
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.Get(1, 0), 20);
+  EXPECT_EQ(buffer.Get(2, 1), 300);
+
+  Query q = QueryBuilder(2).Range(0, 15, 35).Build();
+  CollectVisitor v;
+  QueryStats stats;
+  buffer.Scan(q, v, /*base_row_id=*/1000, &stats);
+  ASSERT_EQ(v.rows().size(), 2u);
+  EXPECT_EQ(v.rows()[0], 1001u);
+  EXPECT_EQ(v.rows()[1], 1002u);
+  EXPECT_EQ(stats.points_scanned, 3u);
+  EXPECT_EQ(stats.points_matched, 2u);
+}
+
+TEST(DeltaBufferTest, RejectsArityMismatch) {
+  DeltaBuffer buffer(3);
+  EXPECT_FALSE(buffer.Insert({1, 2}).ok());
+}
+
+TEST(DeltaBufferTest, MergeIntoProducesCombinedTable) {
+  StatusOr<Table> main = Table::FromColumns({{1, 2}, {10, 20}});
+  ASSERT_TRUE(main.ok());
+  DeltaBuffer buffer(2);
+  ASSERT_TRUE(buffer.Insert({3, 30}).ok());
+  StatusOr<Table> merged = buffer.MergeInto(*main);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 3u);
+  EXPECT_EQ(merged->Get(2, 0), 3);
+  EXPECT_EQ(merged->Get(2, 1), 30);
+  EXPECT_EQ(buffer.size(), 0u);  // Cleared after merge.
+}
+
+TEST(DeltaBufferTest, InsertsVisibleThroughCombinedQueryPath) {
+  // End-to-end §8 pattern: main FloodIndex + buffer, then merge + rebuild.
+  const Table t = testing::MakeTable(testing::DataShape::kUniform, 2000, 2,
+                                     77);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(2, 16);
+  FloodIndex index(o);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(t, 500, 1);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+
+  DeltaBuffer buffer(2);
+  for (Value v = 0; v < 50; ++v) {
+    ASSERT_TRUE(buffer.Insert({500'000, v}).ok());
+  }
+
+  Query q = QueryBuilder(2).Range(0, 499'999, 500'001).Build();
+  // Combined result = index result + buffer scan.
+  CountVisitor main_count;
+  index.Execute(q, main_count, nullptr);
+  CountVisitor buffer_count;
+  buffer.Scan(q, buffer_count, t.num_rows(), nullptr);
+  const uint64_t combined = main_count.count() + buffer_count.count();
+
+  // After merging and rebuilding, the single index agrees.
+  StatusOr<Table> merged = buffer.MergeInto(t);
+  ASSERT_TRUE(merged.ok());
+  FloodIndex rebuilt(o);
+  BuildContext ctx2;
+  ctx2.sample = DataSample::FromTable(*merged, 500, 2);
+  ASSERT_TRUE(rebuilt.Build(*merged, ctx2).ok());
+  EXPECT_EQ(ExecuteAggregate(rebuilt, q, nullptr).count, combined);
+  EXPECT_GE(combined, 50u);
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "baselines/full_scan.h"
+#include "core/flood_index.h"
+#include "query/executor.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+TEST(ExecutorTest, CountQuery) {
+  const Table t = testing::MakeTable(testing::DataShape::kUniform, 1000, 2,
+                                     3);
+  FullScanIndex index;
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(t, 100, 1);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  Query q = QueryBuilder(2).Range(0, 0, 500'000).Count().Build();
+  const AggResult r = ExecuteAggregate(index, q, nullptr);
+  EXPECT_EQ(r.count, testing::BruteForce(t, q, 0).count);
+}
+
+TEST(ExecutorTest, SumQueryWithAndWithoutPrefixSums) {
+  const Table t = testing::MakeTable(testing::DataShape::kUniform, 5000, 3,
+                                     4);
+  Query q = QueryBuilder(3).Range(0, 100'000, 800'000).Sum(1).Build();
+
+  // Workload advertises the SUM dim so prefix sums get built.
+  Workload w;
+  w.Add(q);
+  BuildContext ctx;
+  ctx.workload = &w;
+  ctx.sample = DataSample::FromTable(t, 500, 1);
+
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 64);
+  FloodIndex with_sums(o);
+  ASSERT_TRUE(with_sums.Build(t, ctx).ok());
+  ASSERT_NE(with_sums.prefix_sums(1), nullptr);
+
+  BuildContext ctx_no;
+  ctx_no.sample = DataSample::FromTable(t, 500, 2);
+  FloodIndex without(o);
+  ASSERT_TRUE(without.Build(t, ctx_no).ok());
+  EXPECT_EQ(without.prefix_sums(1), nullptr);
+
+  const auto oracle = testing::BruteForce(t, q, 1);
+  EXPECT_EQ(ExecuteAggregate(with_sums, q, nullptr).sum, oracle.sum);
+  EXPECT_EQ(ExecuteAggregate(without, q, nullptr).sum, oracle.sum);
+}
+
+TEST(ExecutorTest, StatsTotalsAccumulate) {
+  const Table t = testing::MakeTable(testing::DataShape::kUniform, 2000, 2,
+                                     5);
+  FullScanIndex index;
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(t, 100, 1);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  QueryStats stats;
+  Query q = QueryBuilder(2).Range(0, 0, 100'000).Build();
+  (void)ExecuteAggregate(index, q, &stats);
+  (void)ExecuteAggregate(index, q, &stats);
+  EXPECT_EQ(stats.points_scanned, 4000u);  // Accumulated across queries.
+  EXPECT_GT(stats.total_ns, 0);
+  EXPECT_GE(stats.ScanOverhead(), 1.0);
+}
+
+}  // namespace
+}  // namespace flood

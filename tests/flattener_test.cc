@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/flattener.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::DataShape;
+using testing::MakeTable;
+
+class FlattenerTest : public ::testing::TestWithParam<DataShape> {};
+
+TEST_P(FlattenerTest, ToUnitIsMonotoneAndBounded) {
+  const Table t = MakeTable(GetParam(), 10'000, 3, 31);
+  const Flattener f =
+      Flattener::Train(t, Flattener::Mode::kCdf, 5000, 1, 64);
+  Rng rng(32);
+  for (size_t dim = 0; dim < 3; ++dim) {
+    std::vector<Value> probes;
+    for (int i = 0; i < 1000; ++i) {
+      probes.push_back(
+          rng.UniformInt(t.min_value(dim) - 10, t.max_value(dim) + 10));
+    }
+    std::sort(probes.begin(), probes.end());
+    double prev = -1;
+    for (Value p : probes) {
+      const double u = f.ToUnit(dim, p);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+      EXPECT_GE(u, prev);
+      prev = u;
+    }
+  }
+}
+
+TEST_P(FlattenerTest, CdfEvensOutColumnOccupancy) {
+  const Table t = MakeTable(GetParam(), 20'000, 1, 33);
+  const Flattener flat =
+      Flattener::Train(t, Flattener::Mode::kCdf, 20'000, 2, 128);
+  constexpr uint32_t kCols = 16;
+  std::vector<size_t> counts(kCols, 0);
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    counts[flat.ColumnOf(0, t.Get(r, 0), kCols)]++;
+  }
+  const size_t expected = t.num_rows() / kCols;
+  size_t max_count = 0;
+  for (size_t c : counts) max_count = std::max(max_count, c);
+  // Flattened columns should not exceed ~4x the even share even on skewed
+  // shapes (duplicates can exceed: all equal values share one column).
+  if (GetParam() != DataShape::kDuplicates) {
+    EXPECT_LT(max_count, expected * 4) << "columns badly imbalanced";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FlattenerTest,
+                         ::testing::Values(DataShape::kUniform,
+                                           DataShape::kSkewed,
+                                           DataShape::kClustered,
+                                           DataShape::kDuplicates),
+                         [](const auto& info) {
+                           return testing::DataShapeName(info.param);
+                         });
+
+TEST(FlattenerLinearTest, EqualWidthColumns) {
+  StatusOr<Table> t = Table::FromColumns({{0, 100, 200, 300, 400}});
+  ASSERT_TRUE(t.ok());
+  const Flattener f =
+      Flattener::Train(*t, Flattener::Mode::kLinear, 100, 1);
+  EXPECT_DOUBLE_EQ(f.ToUnit(0, 0), 0.0);
+  EXPECT_NEAR(f.ToUnit(0, 200), 0.5, 0.01);
+  EXPECT_NEAR(f.ToUnit(0, 400), 1.0, 0.01);
+  EXPECT_EQ(f.ColumnOf(0, 0, 4), 0u);
+  EXPECT_EQ(f.ColumnOf(0, 399, 4), 3u);
+  EXPECT_EQ(f.ColumnOf(0, 400, 4), 3u);  // Clamped.
+}
+
+TEST(FlattenerLinearTest, ConstantColumnMapsToZero) {
+  StatusOr<Table> t = Table::FromColumns({{7, 7, 7}});
+  ASSERT_TRUE(t.ok());
+  const Flattener f = Flattener::Train(*t, Flattener::Mode::kLinear, 10, 1);
+  EXPECT_DOUBLE_EQ(f.ToUnit(0, 7), 0.0);
+  EXPECT_EQ(f.ColumnOf(0, 7, 8), 0u);
+}
+
+// The property Flood's correctness rests on: any point whose column is
+// strictly between the query endpoints' columns must satisfy the filter.
+TEST(FlattenerTest, InteriorColumnGuarantee) {
+  for (DataShape shape : {DataShape::kUniform, DataShape::kSkewed,
+                          DataShape::kClustered, DataShape::kDuplicates}) {
+    const Table t = MakeTable(shape, 5000, 1, 35);
+    for (Flattener::Mode mode :
+         {Flattener::Mode::kCdf, Flattener::Mode::kLinear}) {
+      const Flattener f = Flattener::Train(t, mode, 1000, 3, 32);
+      Rng rng(36);
+      for (uint32_t cols : {2u, 7u, 64u}) {
+        for (int trial = 0; trial < 50; ++trial) {
+          Value lo = rng.UniformInt(t.min_value(0), t.max_value(0));
+          Value hi = rng.UniformInt(t.min_value(0), t.max_value(0));
+          if (lo > hi) std::swap(lo, hi);
+          const uint32_t col_lo = f.ColumnOf(0, lo, cols);
+          const uint32_t col_hi = f.ColumnOf(0, hi, cols);
+          ASSERT_LE(col_lo, col_hi);
+          for (RowId r = 0; r < t.num_rows(); ++r) {
+            const Value v = t.Get(r, 0);
+            const uint32_t c = f.ColumnOf(0, v, cols);
+            if (c > col_lo && c < col_hi) {
+              EXPECT_GE(v, lo) << "interior column violates lower bound";
+              EXPECT_LE(v, hi) << "interior column violates upper bound";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flood

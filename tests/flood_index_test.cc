@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "core/flood_index.h"
+#include "query/executor.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::BruteForce;
+using testing::DataShape;
+using testing::MakeTable;
+using testing::RandomQuery;
+
+BuildContext MakeCtx(const Table& t, const Workload* w = nullptr) {
+  BuildContext ctx;
+  ctx.workload = w;
+  ctx.sample = DataSample::FromTable(t, 1000, 5);
+  return ctx;
+}
+
+TEST(FloodIndexTest, BuildRejectsInvalidLayout) {
+  const Table t = MakeTable(DataShape::kUniform, 100, 3, 1);
+  FloodIndex::Options o;
+  o.layout.dim_order = {0, 0, 1};
+  o.layout.columns = {2, 2};
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  EXPECT_FALSE(index.Build(t, ctx).ok());
+}
+
+TEST(FloodIndexTest, BuildRejectsCellBudgetOverflow) {
+  const Table t = MakeTable(DataShape::kUniform, 100, 3, 2);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 1u << 20);
+  o.max_cells = 1024;
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  const Status s = index.Build(t, ctx);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FloodIndexTest, CellTablePartitionsRows) {
+  const Table t = MakeTable(DataShape::kClustered, 5000, 3, 3);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 100);
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  size_t total = 0;
+  for (size_t c = 0; c < index.num_cells(); ++c) total += index.CellSize(c);
+  EXPECT_EQ(total, t.num_rows());
+}
+
+TEST(FloodIndexTest, RowsWithinCellSortedBySortDim) {
+  const Table t = MakeTable(DataShape::kUniform, 4000, 3, 4);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 64);
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  const size_t sort_dim = index.layout().sort_dim();
+  size_t offset = 0;
+  for (size_t c = 0; c < index.num_cells(); ++c) {
+    const size_t size = index.CellSize(c);
+    Value prev = kValueMin;
+    for (size_t i = 0; i < size; ++i) {
+      const Value v = index.data().Get(offset + i, sort_dim);
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+    offset += size;
+  }
+}
+
+class FloodLayoutSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<DataShape, size_t /*sort dim*/, uint32_t /*cols*/,
+                     bool /*flatten*/>> {};
+
+TEST_P(FloodLayoutSweepTest, MatchesOracleAcrossLayouts) {
+  const auto [shape, sort_dim, cols, flatten] = GetParam();
+  const size_t d = 3;
+  const Table t = MakeTable(shape, 2500, d, 7);
+
+  GridLayout layout;
+  for (size_t dim = 0; dim < d; ++dim) {
+    if (dim != sort_dim) layout.dim_order.push_back(dim);
+  }
+  layout.dim_order.push_back(sort_dim);
+  layout.use_sort_dim = true;
+  layout.columns.assign(d - 1, cols);
+
+  FloodIndex::Options o;
+  o.layout = layout;
+  o.flatten_mode =
+      flatten ? Flattener::Mode::kCdf : Flattener::Mode::kLinear;
+  o.plm_min_cell_size = 32;
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const Query q = RandomQuery(t, 3000 + seed);
+    const auto oracle = BruteForce(t, q, 0);
+    QueryStats stats;
+    const AggResult r = ExecuteAggregate(*&index, q, &stats);
+    EXPECT_EQ(r.count, oracle.count) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FloodLayoutSweepTest,
+    ::testing::Combine(::testing::Values(DataShape::kUniform,
+                                         DataShape::kSkewed,
+                                         DataShape::kDuplicates),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{2}),
+                       ::testing::Values(1u, 3u, 16u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(testing::DataShapeName(std::get<0>(info.param))) +
+             "_sort" + std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "_cdf" : "_lin");
+    });
+
+TEST(FloodIndexTest, RefinementShrinksScansWhenSortDimFiltered) {
+  const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 8);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 64);
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  const size_t sort_dim = index.layout().sort_dim();
+
+  // Narrow filter on the sort dimension only.
+  Query q(3);
+  q.SetRange(sort_dim, 0, 100'000);  // ~10% of the value domain.
+  QueryStats stats;
+  (void)ExecuteAggregate(index, q, &stats);
+  // Refinement should stop us from scanning the whole table.
+  EXPECT_LT(stats.points_scanned, t.num_rows() / 2);
+  EXPECT_EQ(stats.points_matched, BruteForce(t, q, 0).count);
+  EXPECT_GT(stats.refine_ns + stats.index_ns, 0);
+}
+
+TEST(FloodIndexTest, ExactRangesSkipChecksOnGridFilteredQueries) {
+  const Table t = MakeTable(DataShape::kUniform, 30'000, 3, 9);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 256);
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  // Wide filter on one grid dimension: interior columns are exact.
+  const size_t g0 = index.layout().grid_dim(0);
+  Query q(3);
+  q.SetRange(g0, 100'000, 900'000);
+  QueryStats stats;
+  const AggResult r = ExecuteAggregate(index, q, &stats);
+  EXPECT_EQ(r.count, BruteForce(t, q, 0).count);
+  EXPECT_GT(stats.points_exact, 0u) << "expected exact interior ranges";
+}
+
+TEST(FloodIndexTest, CellModelsReduceNothingButStayCorrect) {
+  // PLM refinement vs binary search must agree bit-for-bit.
+  const Table t = MakeTable(DataShape::kSkewed, 10'000, 3, 10);
+  FloodIndex::Options with_models;
+  with_models.layout = GridLayout::Default(3, 16);
+  with_models.plm_min_cell_size = 16;
+  FloodIndex a(with_models);
+  FloodIndex::Options without = with_models;
+  without.use_cell_models = false;
+  FloodIndex b(without);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(a.Build(t, ctx).ok());
+  ASSERT_TRUE(b.Build(t, ctx).ok());
+  EXPECT_GT(a.num_cell_models(), 0u);
+  EXPECT_EQ(b.num_cell_models(), 0u);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const Query q = RandomQuery(t, 7000 + seed);
+    EXPECT_EQ(ExecuteAggregate(a, q, nullptr).count,
+              ExecuteAggregate(b, q, nullptr).count);
+  }
+}
+
+TEST(FloodIndexTest, IndexSizeTracksCellModelBudget) {
+  const Table t = MakeTable(DataShape::kUniform, 50'000, 3, 11);
+  FloodIndex::Options small_delta;
+  small_delta.layout = GridLayout::Default(3, 32);
+  small_delta.plm_delta = 2.0;
+  FloodIndex::Options big_delta = small_delta;
+  big_delta.plm_delta = 500.0;
+  FloodIndex a(small_delta);
+  FloodIndex b(big_delta);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(a.Build(t, ctx).ok());
+  ASSERT_TRUE(b.Build(t, ctx).ok());
+  EXPECT_GT(a.IndexSizeBytes(), b.IndexSizeBytes());
+}
+
+TEST(FloodIndexTest, StatsCountCellsVisited) {
+  const Table t = MakeTable(DataShape::kUniform, 10'000, 3, 12);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 100);
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  Query q(3);  // Unfiltered: visits every cell.
+  QueryStats stats;
+  (void)ExecuteAggregate(index, q, &stats);
+  EXPECT_EQ(stats.cells_visited, index.num_cells());
+  EXPECT_EQ(stats.points_scanned, t.num_rows());
+}
+
+}  // namespace
+}  // namespace flood

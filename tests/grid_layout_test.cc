@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/grid_layout.h"
+
+namespace flood {
+namespace {
+
+TEST(GridLayoutTest, DefaultLayoutValid) {
+  const GridLayout l = GridLayout::Default(4, 1000);
+  EXPECT_TRUE(l.IsValid(4));
+  EXPECT_TRUE(l.use_sort_dim);
+  EXPECT_EQ(l.NumGridDims(), 3u);
+  EXPECT_EQ(l.sort_dim(), 3u);
+  // Target ~1000 cells split across 3 dims -> 10 columns each.
+  EXPECT_EQ(l.columns.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(l.NumCells()), 1000.0, 400.0);
+}
+
+TEST(GridLayoutTest, SingleDimDefault) {
+  const GridLayout l = GridLayout::Default(1, 100);
+  EXPECT_TRUE(l.IsValid(1));
+  EXPECT_FALSE(l.use_sort_dim);  // One dim: grid only.
+  EXPECT_EQ(l.NumGridDims(), 1u);
+}
+
+TEST(GridLayoutTest, NumCellsIsProduct) {
+  GridLayout l;
+  l.dim_order = {2, 0, 1};
+  l.columns = {4, 5};
+  l.use_sort_dim = true;
+  EXPECT_TRUE(l.IsValid(3));
+  EXPECT_EQ(l.NumCells(), 20u);
+  EXPECT_EQ(l.sort_dim(), 1u);
+  EXPECT_EQ(l.grid_dim(0), 2u);
+}
+
+TEST(GridLayoutTest, InvalidLayouts) {
+  GridLayout l;
+  l.dim_order = {0, 1};
+  l.columns = {3};
+  l.use_sort_dim = true;
+  EXPECT_TRUE(l.IsValid(2));
+  EXPECT_FALSE(l.IsValid(3));  // Wrong dim count.
+
+  GridLayout dup;
+  dup.dim_order = {0, 0};
+  dup.columns = {3};
+  EXPECT_FALSE(dup.IsValid(2));  // Not a permutation.
+
+  GridLayout zero;
+  zero.dim_order = {0, 1};
+  zero.columns = {0};
+  EXPECT_FALSE(zero.IsValid(2));  // Zero columns.
+
+  GridLayout wrong_cols;
+  wrong_cols.dim_order = {0, 1};
+  wrong_cols.columns = {2, 2};
+  wrong_cols.use_sort_dim = true;
+  EXPECT_FALSE(wrong_cols.IsValid(2));  // Columns must cover grid dims only.
+  wrong_cols.use_sort_dim = false;
+  EXPECT_TRUE(wrong_cols.IsValid(2));
+}
+
+TEST(GridLayoutSerializeTest, RoundTrip) {
+  GridLayout l;
+  l.dim_order = {2, 0, 3, 1};
+  l.columns = {4, 1, 97};
+  l.use_sort_dim = true;
+  const std::string text = l.Serialize();
+  const StatusOr<GridLayout> parsed = GridLayout::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->dim_order, l.dim_order);
+  EXPECT_EQ(parsed->columns, l.columns);
+  EXPECT_EQ(parsed->use_sort_dim, l.use_sort_dim);
+}
+
+TEST(GridLayoutSerializeTest, RoundTripNoSortDim) {
+  GridLayout l;
+  l.dim_order = {1, 0};
+  l.columns = {8, 2};
+  l.use_sort_dim = false;
+  const StatusOr<GridLayout> parsed = GridLayout::Parse(l.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->use_sort_dim);
+  EXPECT_EQ(parsed->NumCells(), 16u);
+}
+
+TEST(GridLayoutSerializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(GridLayout::Parse("").ok());
+  EXPECT_FALSE(GridLayout::Parse("order=0,1;cols=2").ok());  // No sort.
+  EXPECT_FALSE(GridLayout::Parse("order=0,0;cols=2;sort=1").ok());  // Dup.
+  EXPECT_FALSE(GridLayout::Parse("order=0,1;cols=2;sort=7").ok());
+  EXPECT_FALSE(GridLayout::Parse("order=0,x;cols=2;sort=1").ok());
+  EXPECT_FALSE(GridLayout::Parse("bogus=1;order=0;cols=1;sort=0").ok());
+  EXPECT_FALSE(GridLayout::Parse("order=0,1;cols=0,2;sort=0").ok());
+}
+
+TEST(GridLayoutTest, ToStringMentionsDims) {
+  GridLayout l;
+  l.dim_order = {1, 0};
+  l.columns = {8};
+  l.use_sort_dim = true;
+  const std::string s = l.ToString();
+  EXPECT_NE(s.find("d1:8"), std::string::npos);
+  EXPECT_NE(s.find("sort=d0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baselines/clustered_index.h"
+#include "baselines/full_scan.h"
+#include "baselines/grid_file.h"
+#include "baselines/hyperoctree.h"
+#include "baselines/kd_tree.h"
+#include "baselines/r_tree.h"
+#include "baselines/ub_tree.h"
+#include "baselines/zorder_index.h"
+#include "core/flood_index.h"
+#include "query/executor.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::BruteForce;
+using testing::DataShape;
+using testing::DataShapeName;
+using testing::MakeTable;
+using testing::OracleResult;
+using testing::RandomQuery;
+
+enum class IndexKind {
+  kFullScan,
+  kClustered,
+  kGridFile,
+  kZOrder,
+  kUbTree,
+  kHyperoctree,
+  kKdTree,
+  kRTree,
+  kFloodFlattened,
+  kFloodLinear,
+  kFloodNoModels,
+  kFloodSimpleGrid,  // No sort dim (histogram ablation).
+};
+
+const char* IndexKindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kFullScan:
+      return "FullScan";
+    case IndexKind::kClustered:
+      return "Clustered";
+    case IndexKind::kGridFile:
+      return "GridFile";
+    case IndexKind::kZOrder:
+      return "ZOrder";
+    case IndexKind::kUbTree:
+      return "UbTree";
+    case IndexKind::kHyperoctree:
+      return "Hyperoctree";
+    case IndexKind::kKdTree:
+      return "KdTree";
+    case IndexKind::kRTree:
+      return "RTree";
+    case IndexKind::kFloodFlattened:
+      return "FloodFlattened";
+    case IndexKind::kFloodLinear:
+      return "FloodLinear";
+    case IndexKind::kFloodNoModels:
+      return "FloodNoModels";
+    case IndexKind::kFloodSimpleGrid:
+      return "FloodSimpleGrid";
+  }
+  return "?";
+}
+
+std::unique_ptr<MultiDimIndex> MakeIndex(IndexKind kind, size_t num_dims) {
+  switch (kind) {
+    case IndexKind::kFullScan:
+      return std::make_unique<FullScanIndex>();
+    case IndexKind::kClustered:
+      return std::make_unique<ClusteredColumnIndex>();
+    case IndexKind::kGridFile: {
+      GridFileIndex::Options o;
+      o.page_size = 256;
+      return std::make_unique<GridFileIndex>(o);
+    }
+    case IndexKind::kZOrder: {
+      ZOrderIndex::Options o;
+      o.page_size = 128;
+      return std::make_unique<ZOrderIndex>(o);
+    }
+    case IndexKind::kUbTree:
+      return std::make_unique<UbTreeIndex>();
+    case IndexKind::kHyperoctree: {
+      HyperoctreeIndex::Options o;
+      o.page_size = 128;
+      return std::make_unique<HyperoctreeIndex>(o);
+    }
+    case IndexKind::kKdTree: {
+      KdTreeIndex::Options o;
+      o.page_size = 128;
+      return std::make_unique<KdTreeIndex>(o);
+    }
+    case IndexKind::kRTree: {
+      RTreeIndex::Options o;
+      o.leaf_capacity = 128;
+      return std::make_unique<RTreeIndex>(o);
+    }
+    case IndexKind::kFloodFlattened: {
+      FloodIndex::Options o;
+      o.layout = GridLayout::Default(num_dims, 64);
+      return std::make_unique<FloodIndex>(o);
+    }
+    case IndexKind::kFloodLinear: {
+      FloodIndex::Options o;
+      o.layout = GridLayout::Default(num_dims, 64);
+      o.flatten_mode = Flattener::Mode::kLinear;
+      return std::make_unique<FloodIndex>(o);
+    }
+    case IndexKind::kFloodNoModels: {
+      FloodIndex::Options o;
+      o.layout = GridLayout::Default(num_dims, 64);
+      o.use_cell_models = false;
+      return std::make_unique<FloodIndex>(o);
+    }
+    case IndexKind::kFloodSimpleGrid: {
+      FloodIndex::Options o;
+      o.layout = GridLayout::Default(num_dims, 64);
+      o.layout.use_sort_dim = false;
+      o.layout.columns.push_back(2);  // Grid over all dims.
+      return std::make_unique<FloodIndex>(o);
+    }
+  }
+  return nullptr;
+}
+
+class IndexCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<IndexKind, DataShape>> {};
+
+TEST_P(IndexCorrectnessTest, AggregatesMatchBruteForceOracle) {
+  const auto [kind, shape] = GetParam();
+  const size_t n = 3000;
+  const size_t d = 4;
+  const Table table = MakeTable(shape, n, d, 1234);
+
+  // Training workload (used for selectivity hints + prefix sums).
+  Workload hint;
+  for (int i = 0; i < 10; ++i) {
+    Query q = RandomQuery(table, 900 + i);
+    q.set_agg({AggSpec::Kind::kSum, 2});
+    hint.Add(q);
+  }
+  BuildContext ctx;
+  ctx.workload = &hint;
+  ctx.sample = DataSample::FromTable(table, 1000, 77);
+
+  std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, d);
+  ASSERT_NE(index, nullptr);
+  const Status built = index->Build(table, ctx);
+  ASSERT_TRUE(built.ok()) << built.ToString();
+
+  // The index's own storage order must be a permutation of the table.
+  ASSERT_EQ(index->data().num_rows(), n);
+
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Query q = RandomQuery(table, 555 + seed * 13);
+    const OracleResult oracle = BruteForce(table, q, /*sum_dim=*/2);
+
+    q.set_agg({AggSpec::Kind::kCount, 0});
+    QueryStats count_stats;
+    const AggResult count = ExecuteAggregate(*index, q, &count_stats);
+    EXPECT_EQ(count.count, oracle.count)
+        << IndexKindName(kind) << " COUNT mismatch, query " << q.ToString();
+    EXPECT_EQ(count_stats.points_matched, oracle.count);
+    EXPECT_GE(count_stats.points_scanned, count_stats.points_matched);
+
+    q.set_agg({AggSpec::Kind::kSum, 2});
+    const AggResult sum = ExecuteAggregate(*index, q, nullptr);
+    EXPECT_EQ(sum.sum, oracle.sum)
+        << IndexKindName(kind) << " SUM mismatch, query " << q.ToString();
+
+    // Collect must return exactly the matching rows (as a set of values).
+    CollectVisitor collect;
+    index->Execute(q, collect, nullptr);
+    EXPECT_EQ(collect.rows().size(), oracle.count);
+    for (RowId r : collect.rows()) {
+      EXPECT_TRUE(q.Matches(index->data(), r));
+    }
+  }
+}
+
+TEST_P(IndexCorrectnessTest, UnfilteredQueryMatchesEverything) {
+  const auto [kind, shape] = GetParam();
+  const size_t n = 500;
+  const Table table = MakeTable(shape, n, 3, 99);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(table, 200, 1);
+  std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, 3);
+  ASSERT_TRUE(index->Build(table, ctx).ok());
+  const Query q(3);
+  const AggResult r = ExecuteAggregate(*index, q, nullptr);
+  EXPECT_EQ(r.count, n);
+}
+
+TEST_P(IndexCorrectnessTest, EmptyRangeMatchesNothing) {
+  const auto [kind, shape] = GetParam();
+  const Table table = MakeTable(shape, 400, 3, 101);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(table, 200, 2);
+  std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, 3);
+  ASSERT_TRUE(index->Build(table, ctx).ok());
+  Query q(3);
+  q.SetRange(1, 100, 50);  // Inverted: empty.
+  const AggResult r = ExecuteAggregate(*index, q, nullptr);
+  EXPECT_EQ(r.count, 0u);
+}
+
+TEST_P(IndexCorrectnessTest, OutOfDomainRangeMatchesNothing) {
+  const auto [kind, shape] = GetParam();
+  const Table table = MakeTable(shape, 400, 3, 103);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(table, 200, 3);
+  std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, 3);
+  ASSERT_TRUE(index->Build(table, ctx).ok());
+  Query q(3);
+  q.SetRange(0, table.max_value(0) + 1, kValueMax);
+  EXPECT_EQ(ExecuteAggregate(*index, q, nullptr).count, 0u);
+  Query q2(3);
+  q2.SetRange(0, kValueMin, table.min_value(0) - 1);
+  EXPECT_EQ(ExecuteAggregate(*index, q2, nullptr).count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexesAllShapes, IndexCorrectnessTest,
+    ::testing::Combine(
+        ::testing::Values(IndexKind::kFullScan, IndexKind::kClustered,
+                          IndexKind::kGridFile, IndexKind::kZOrder,
+                          IndexKind::kUbTree, IndexKind::kHyperoctree,
+                          IndexKind::kKdTree, IndexKind::kRTree,
+                          IndexKind::kFloodFlattened, IndexKind::kFloodLinear,
+                          IndexKind::kFloodNoModels,
+                          IndexKind::kFloodSimpleGrid),
+        ::testing::Values(DataShape::kUniform, DataShape::kSkewed,
+                          DataShape::kClustered, DataShape::kDuplicates,
+                          DataShape::kCorrelated)),
+    [](const auto& info) {
+      return std::string(IndexKindName(std::get<0>(info.param))) + "_" +
+             DataShapeName(std::get<1>(info.param));
+    });
+
+TEST(IndexEdgeCaseTest, SinglePointTable) {
+  StatusOr<Table> t = Table::FromColumns({{42}, {7}});
+  ASSERT_TRUE(t.ok());
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(*t, 1, 1);
+  for (IndexKind kind :
+       {IndexKind::kFullScan, IndexKind::kClustered, IndexKind::kZOrder,
+        IndexKind::kUbTree, IndexKind::kHyperoctree, IndexKind::kKdTree,
+        IndexKind::kRTree, IndexKind::kGridFile,
+        IndexKind::kFloodFlattened}) {
+    std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, 2);
+    ASSERT_TRUE(index->Build(*t, ctx).ok()) << IndexKindName(kind);
+    Query hit = QueryBuilder(2).Range(0, 40, 45).Build();
+    EXPECT_EQ(ExecuteAggregate(*index, hit, nullptr).count, 1u)
+        << IndexKindName(kind);
+    Query miss = QueryBuilder(2).Range(0, 43, 45).Build();
+    EXPECT_EQ(ExecuteAggregate(*index, miss, nullptr).count, 0u)
+        << IndexKindName(kind);
+  }
+}
+
+TEST(IndexEdgeCaseTest, AllRowsIdentical) {
+  std::vector<Value> col(300, 5);
+  StatusOr<Table> t = Table::FromColumns({col, col, col});
+  ASSERT_TRUE(t.ok());
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(*t, 100, 1);
+  for (IndexKind kind :
+       {IndexKind::kFullScan, IndexKind::kClustered, IndexKind::kZOrder,
+        IndexKind::kUbTree, IndexKind::kHyperoctree, IndexKind::kKdTree,
+        IndexKind::kRTree, IndexKind::kGridFile,
+        IndexKind::kFloodFlattened}) {
+    std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, 3);
+    ASSERT_TRUE(index->Build(*t, ctx).ok()) << IndexKindName(kind);
+    Query q = QueryBuilder(3).Equals(0, 5).Equals(2, 5).Build();
+    EXPECT_EQ(ExecuteAggregate(*index, q, nullptr).count, 300u)
+        << IndexKindName(kind);
+    Query miss = QueryBuilder(3).Equals(1, 6).Build();
+    EXPECT_EQ(ExecuteAggregate(*index, miss, nullptr).count, 0u)
+        << IndexKindName(kind);
+  }
+}
+
+TEST(IndexEdgeCaseTest, SingleDimensionTable) {
+  Rng rng(7);
+  StatusOr<Table> t =
+      Table::FromColumns({UniformColumn(2000, 0, 10'000, rng)});
+  ASSERT_TRUE(t.ok());
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(*t, 500, 1);
+  for (IndexKind kind :
+       {IndexKind::kFullScan, IndexKind::kClustered, IndexKind::kZOrder,
+        IndexKind::kHyperoctree, IndexKind::kKdTree,
+        IndexKind::kFloodFlattened}) {
+    std::unique_ptr<MultiDimIndex> index = MakeIndex(kind, 1);
+    ASSERT_TRUE(index->Build(*t, ctx).ok()) << IndexKindName(kind);
+    Query q = QueryBuilder(1).Range(0, 1000, 3000).Build();
+    const auto oracle = BruteForce(*t, q, 0);
+    EXPECT_EQ(ExecuteAggregate(*index, q, nullptr).count, oracle.count)
+        << IndexKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_regression.h"
+#include "ml/random_forest.h"
+
+namespace flood {
+namespace {
+
+double Mse(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y,
+           const std::function<double(const std::vector<double>&)>& f) {
+  double err = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = f(x[i]) - y[i];
+    err += d * d;
+  }
+  return err / static_cast<double>(x.size());
+}
+
+TEST(LinearRegressionTest, RecoversExactLinearFunction) {
+  // y = 3*x0 - 2*x1 + 7.
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(-10, 10);
+    const double b = rng.Uniform(-10, 10);
+    x.push_back({a, b});
+    y.push_back(3 * a - 2 * b + 7);
+  }
+  const LinearRegression lr = LinearRegression::Fit(x, y);
+  EXPECT_NEAR(lr.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(lr.coefficients()[1], -2.0, 1e-6);
+  EXPECT_NEAR(lr.intercept(), 7.0, 1e-5);
+  EXPECT_NEAR(lr.Predict({1, 1}), 8.0, 1e-5);
+}
+
+TEST(LinearRegressionTest, HandlesDegenerateConstantFeature) {
+  std::vector<std::vector<double>> x{{1, 5}, {2, 5}, {3, 5}};
+  std::vector<double> y{2, 4, 6};
+  const LinearRegression lr = LinearRegression::Fit(x, y);
+  EXPECT_NEAR(lr.Predict({4, 5}), 8.0, 0.1);
+}
+
+TEST(LinearRegressionTest, EmptyTrainingSet) {
+  const LinearRegression lr = LinearRegression::Fit({}, {});
+  EXPECT_DOUBLE_EQ(lr.Predict({1, 2}), 0.0);
+}
+
+TEST(DecisionTreeTest, FitsStepFunction) {
+  // y = 10 for x<0.5, else 20: a single split nails it.
+  Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::vector<uint32_t> idx;
+  for (uint32_t i = 0; i < 400; ++i) {
+    const double v = rng.NextDouble();
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 10.0 : 20.0);
+    idx.push_back(i);
+  }
+  TreeParams params;
+  Rng tree_rng(3);
+  const DecisionTree tree = DecisionTree::Fit(x, y, idx, params, tree_rng);
+  EXPECT_NEAR(tree.Predict({0.1}), 10.0, 0.5);
+  EXPECT_NEAR(tree.Predict({0.9}), 20.0, 0.5);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::vector<uint32_t> idx;
+  for (uint32_t i = 0; i < 500; ++i) {
+    const double v = rng.NextDouble();
+    x.push_back({v});
+    y.push_back(std::sin(10 * v));
+    idx.push_back(i);
+  }
+  TreeParams shallow;
+  shallow.max_depth = 1;
+  TreeParams deep;
+  deep.max_depth = 10;
+  Rng r1(5);
+  Rng r2(5);
+  const DecisionTree a = DecisionTree::Fit(x, y, idx, shallow, r1);
+  const DecisionTree b = DecisionTree::Fit(x, y, idx, deep, r2);
+  EXPECT_LE(a.num_nodes(), 3u);
+  EXPECT_GT(b.num_nodes(), a.num_nodes());
+}
+
+TEST(DecisionTreeTest, EmptyIndicesYieldZeroPredictor) {
+  TreeParams params;
+  Rng rng(6);
+  const DecisionTree tree = DecisionTree::Fit({}, {}, {}, params, rng);
+  EXPECT_DOUBLE_EQ(tree.Predict({1.0}), 0.0);
+}
+
+TEST(RandomForestTest, BeatsMeanBaselineOnNonlinearTarget) {
+  // y = x0 * x1 (interaction linear models cannot capture).
+  Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 1500; ++i) {
+    const double a = rng.Uniform(0, 4);
+    const double b = rng.Uniform(0, 4);
+    x.push_back({a, b});
+    y.push_back(a * b);
+  }
+  std::vector<std::vector<double>> xt;
+  std::vector<double> yt;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(0, 4);
+    const double b = rng.Uniform(0, 4);
+    xt.push_back({a, b});
+    yt.push_back(a * b);
+  }
+  RandomForest::Params params;
+  params.num_trees = 30;
+  const RandomForest rf = RandomForest::Fit(x, y, params, 11);
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+
+  const double rf_mse =
+      Mse(xt, yt, [&rf](const auto& f) { return rf.Predict(f); });
+  const double mean_mse = Mse(xt, yt, [mean](const auto&) { return mean; });
+  EXPECT_LT(rf_mse, mean_mse / 4) << "forest should explain most variance";
+
+  const LinearRegression lr = LinearRegression::Fit(x, y);
+  const double lr_mse =
+      Mse(xt, yt, [&lr](const auto& f) { return lr.Predict(f); });
+  EXPECT_LT(rf_mse, lr_mse) << "forest should beat linear on interactions";
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Rng rng(8);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.NextDouble();
+    x.push_back({v});
+    y.push_back(v * 2);
+  }
+  RandomForest::Params params;
+  params.num_trees = 5;
+  const RandomForest a = RandomForest::Fit(x, y, params, 99);
+  const RandomForest b = RandomForest::Fit(x, y, params, 99);
+  for (double probe : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.Predict({probe}), b.Predict({probe}));
+  }
+}
+
+TEST(RandomForestTest, EmptyTrainingSet) {
+  const RandomForest rf = RandomForest::Fit({}, {}, {}, 1);
+  EXPECT_DOUBLE_EQ(rf.Predict({1.0}), 0.0);
+  EXPECT_EQ(rf.num_trees(), 0u);
+}
+
+}  // namespace
+}  // namespace flood

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/layout_optimizer.h"
+#include "data/datasets.h"
+#include "query/executor.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+TEST(LayoutOptimizerTest, ReturnsValidLayout) {
+  const BenchDataset ds = MakeTpchDataset(20'000, 3);
+  const Workload w = MakeWorkload(ds, WorkloadKind::kOlapSkewed, 40, 4);
+  const CostModel model = CostModel::Default();
+  LayoutOptimizer::Options opts;
+  opts.data_sample_size = 5000;
+  opts.query_sample_size = 30;
+  opts.max_cells = 1 << 12;
+  opts.max_iterations = 10;
+  LayoutOptimizer optimizer(&model, opts);
+  const auto result = optimizer.Optimize(ds.table, w);
+  EXPECT_TRUE(result.layout.IsValid(ds.table.num_dims()));
+  EXPECT_LE(result.layout.NumCells(), opts.max_cells);
+  EXPECT_GT(result.predicted_cost_ns, 0.0);
+  EXPECT_GT(result.learning_seconds, 0.0);
+  EXPECT_EQ(result.queries_used, 30u);
+}
+
+TEST(LayoutOptimizerTest, OptimizedBeatsSingleCellEstimate) {
+  const BenchDataset ds = MakeOsmDataset(20'000, 5);
+  const Workload w = MakeWorkload(ds, WorkloadKind::kOlapSkewed, 40, 6);
+  const CostModel model = CostModel::Default();
+  LayoutOptimizer::Options opts;
+  opts.data_sample_size = 5000;
+  opts.query_sample_size = 30;
+  opts.max_cells = 1 << 12;
+  LayoutOptimizer optimizer(&model, opts);
+  const auto result = optimizer.Optimize(ds.table, w);
+
+  GridLayout trivial = GridLayout::Default(ds.table.num_dims(), 1);
+  const double trivial_cost =
+      optimizer.EstimateLayoutCost(ds.table, w, trivial);
+  EXPECT_LT(result.predicted_cost_ns, trivial_cost)
+      << "learned layout should beat the single-cell layout";
+}
+
+TEST(LayoutOptimizerTest, PrioritizesFilteredDimensions) {
+  // Workload filters dim 0 (tight) and dim 1 (loose); dims 2/3 never.
+  const Table t =
+      testing::MakeTable(testing::DataShape::kUniform, 30'000, 4, 7);
+  Workload w;
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    Query q(4);
+    const Value lo = rng.UniformInt(0, 900'000);
+    q.SetRange(0, lo, lo + 20'000);    // ~2% selectivity.
+    const Value lo1 = rng.UniformInt(0, 500'000);
+    q.SetRange(1, lo1, lo1 + 400'000); // ~40% selectivity.
+    w.Add(q);
+  }
+  const CostModel model = CostModel::Default();
+  LayoutOptimizer::Options opts;
+  opts.data_sample_size = 5000;
+  opts.query_sample_size = 40;
+  opts.max_cells = 1 << 12;
+  LayoutOptimizer optimizer(&model, opts);
+  const auto result = optimizer.Optimize(t, w);
+
+  // Unfiltered dims should end up with ~1 column (excluded from grid) or as
+  // the sort dimension; dim 0 should get the most columns or be the sort
+  // dim.
+  uint32_t cols_dim0 = 1;
+  uint32_t max_unfiltered_cols = 1;
+  for (size_t i = 0; i < result.layout.NumGridDims(); ++i) {
+    const size_t dim = result.layout.grid_dim(i);
+    if (dim == 0) cols_dim0 = result.layout.columns[i];
+    if (dim >= 2) {
+      max_unfiltered_cols =
+          std::max(max_unfiltered_cols, result.layout.columns[i]);
+    }
+  }
+  const bool dim0_is_sort = result.layout.sort_dim() == 0;
+  EXPECT_TRUE(dim0_is_sort || cols_dim0 > 4)
+      << "layout: " << result.layout.ToString();
+  EXPECT_LE(max_unfiltered_cols, 2u)
+      << "unfiltered dims should be excluded; layout: "
+      << result.layout.ToString();
+}
+
+TEST(BuildOptimizedFloodTest, EndToEndBuildAndQuery) {
+  const BenchDataset ds = MakeSalesDataset(15'000, 9);
+  const auto [train, test] =
+      MakeWorkload(ds, WorkloadKind::kOlapSkewed, 60, 10).Split(0.5, 11);
+  const CostModel model = CostModel::Default();
+  LayoutOptimizer::Options opts;
+  opts.data_sample_size = 5000;
+  opts.query_sample_size = 30;
+  opts.max_cells = 1 << 12;
+  auto built = BuildOptimizedFlood(ds.table, train, model, opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_NE(built->index, nullptr);
+  EXPECT_GT(built->load_seconds, 0.0);
+
+  // Correctness on the held-out workload.
+  for (const Query& q : test) {
+    const auto oracle = testing::BruteForce(ds.table, q, q.agg().dim);
+    const AggResult r = ExecuteAggregate(*built->index, q, nullptr);
+    EXPECT_EQ(r.count, oracle.count);
+    if (q.agg().kind == AggSpec::Kind::kSum) {
+      EXPECT_EQ(r.sum, oracle.sum);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flood

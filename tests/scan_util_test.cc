@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "query/scan_util.h"
+#include "query/visitor.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::DataShape;
+using testing::MakeTable;
+
+TEST(ScanUtilTest, ExactRangeSkipsChecks) {
+  const Table t = MakeTable(DataShape::kUniform, 1000, 2, 1);
+  Query q = QueryBuilder(2).Range(0, 0, 10).Build();  // Barely matches.
+  CountVisitor v;
+  QueryStats stats;
+  // Exact overrides the filter: all 1000 rows count.
+  ScanRange(t, q, 0, 1000, /*exact=*/true, FilteredDims(q), v, &stats);
+  EXPECT_EQ(v.count(), 1000u);
+  EXPECT_EQ(stats.points_exact, 1000u);
+  EXPECT_EQ(stats.points_scanned, 1000u);
+}
+
+TEST(ScanUtilTest, EmptyCheckSetActsExact) {
+  const Table t = MakeTable(DataShape::kUniform, 100, 2, 2);
+  const Query q(2);
+  CountVisitor v;
+  QueryStats stats;
+  ScanRange(t, q, 10, 60, /*exact=*/false, {}, v, &stats);
+  EXPECT_EQ(v.count(), 50u);
+  EXPECT_EQ(stats.points_exact, 50u);
+}
+
+TEST(ScanUtilTest, FilterCheckMatchesBruteForce) {
+  const Table t = MakeTable(DataShape::kClustered, 9000, 3, 3);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Query q = testing::RandomQuery(t, 100 + seed);
+    CountVisitor v;
+    QueryStats stats;
+    ScanRange(t, q, 0, t.num_rows(), false, FilteredDims(q), v, &stats);
+    EXPECT_EQ(v.count(), testing::BruteForce(t, q, 0).count);
+    EXPECT_EQ(stats.points_matched, v.count());
+  }
+}
+
+TEST(ScanUtilTest, ChunkBoundaryAlignment) {
+  // Ranges crossing the 2048-row chunk and 64-bit word boundaries.
+  std::vector<Value> col(6000);
+  for (size_t i = 0; i < col.size(); ++i) col[i] = static_cast<Value>(i);
+  StatusOr<Table> t = Table::FromColumns({col});
+  ASSERT_TRUE(t.ok());
+  Query q = QueryBuilder(1).Range(0, 100, 4999).Build();
+  for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
+           {0, 6000}, {1, 2049}, {2047, 2049}, {63, 65}, {2048, 4096},
+           {5999, 6000}, {0, 1}, {100, 100}}) {
+    CountVisitor v;
+    ScanRange(*t, q, begin, end, false, {0}, v, nullptr);
+    uint64_t expected = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (col[i] >= 100 && col[i] <= 4999) ++expected;
+    }
+    EXPECT_EQ(v.count(), expected) << begin << ".." << end;
+  }
+}
+
+TEST(ScanUtilTest, MultiDimChecksAndCombine) {
+  StatusOr<Table> t = Table::FromColumns({{1, 2, 3, 4}, {10, 20, 30, 40}});
+  ASSERT_TRUE(t.ok());
+  Query q = QueryBuilder(2).Range(0, 2, 4).Range(1, 10, 30).Build();
+  CollectVisitor v;
+  ScanRange(*t, q, 0, 4, false, {0, 1}, v, nullptr);
+  // Rows 1 (2,20) and 2 (3,30) match.
+  ASSERT_EQ(v.rows().size(), 2u);
+  EXPECT_EQ(v.rows()[0], 1u);
+  EXPECT_EQ(v.rows()[1], 2u);
+}
+
+TEST(ScanUtilTest, FilteredDimsListsOnlyFiltered) {
+  Query q = QueryBuilder(4).Range(1, 0, 5).Equals(3, 2).Build();
+  const std::vector<size_t> dims = FilteredDims(q);
+  ASSERT_EQ(dims.size(), 2u);
+  EXPECT_EQ(dims[0], 1u);
+  EXPECT_EQ(dims[1], 3u);
+}
+
+TEST(VisitorTest, SumVisitorUsesPrefixSumsForExactRanges) {
+  std::vector<Value> col{5, 10, 15, 20, 25};
+  const Column column = Column::FromValues(col);
+  const PrefixSums sums(col);
+  SumVisitor with(&column);
+  with.set_prefix_sums(&sums);
+  with.VisitExactRange(1, 4);
+  EXPECT_EQ(with.sum(), 45);
+  SumVisitor without(&column);
+  without.VisitExactRange(1, 4);
+  EXPECT_EQ(without.sum(), 45);
+  without.VisitRow(0);
+  EXPECT_EQ(without.sum(), 50);
+}
+
+TEST(VisitorTest, KindsReported) {
+  const Column c = Column::FromValues({1});
+  EXPECT_EQ(CountVisitor().kind(), Visitor::Kind::kCount);
+  EXPECT_EQ(SumVisitor(&c).kind(), Visitor::Kind::kSum);
+  EXPECT_EQ(CollectVisitor().kind(), Visitor::Kind::kCollect);
+}
+
+}  // namespace
+}  // namespace flood

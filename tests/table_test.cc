@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace flood {
+namespace {
+
+TEST(TableTest, FromColumnsBasics) {
+  StatusOr<Table> t = Table::FromColumns({{1, 2, 3}, {4, 5, 6}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->num_dims(), 2u);
+  EXPECT_EQ(t->Get(0, 0), 1);
+  EXPECT_EQ(t->Get(2, 1), 6);
+  EXPECT_EQ(t->name(0), "dim0");
+  EXPECT_EQ(t->name(1), "dim1");
+}
+
+TEST(TableTest, NamedColumns) {
+  StatusOr<Table> t = Table::FromColumns(
+      {{1}, {2}}, Column::Encoding::kPlain, {"a", "b"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name(0), "a");
+  EXPECT_EQ(t->name(1), "b");
+}
+
+TEST(TableTest, RejectsEmptyColumnList) {
+  StatusOr<Table> t = Table::FromColumns({});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsRaggedColumns) {
+  StatusOr<Table> t = Table::FromColumns({{1, 2}, {3}});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TableTest, RejectsNameArityMismatch) {
+  StatusOr<Table> t =
+      Table::FromColumns({{1}, {2}}, Column::Encoding::kPlain, {"only_one"});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TableTest, MinMaxPrecomputed) {
+  StatusOr<Table> t = Table::FromColumns({{5, -2, 9, 0}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->min_value(0), -2);
+  EXPECT_EQ(t->max_value(0), 9);
+}
+
+TEST(TableTest, ReorderPermutesRows) {
+  StatusOr<Table> t = Table::FromColumns({{10, 20, 30}, {1, 2, 3}});
+  ASSERT_TRUE(t.ok());
+  const Table r = t->Reorder({2, 0, 1});
+  EXPECT_EQ(r.Get(0, 0), 30);
+  EXPECT_EQ(r.Get(1, 0), 10);
+  EXPECT_EQ(r.Get(2, 0), 20);
+  EXPECT_EQ(r.Get(0, 1), 3);
+  // Original untouched.
+  EXPECT_EQ(t->Get(0, 0), 10);
+}
+
+TEST(TableTest, DecodeColumnMatchesGet) {
+  StatusOr<Table> t = Table::FromColumns({{7, 8, 9}});
+  ASSERT_TRUE(t.ok());
+  const std::vector<Value> col = t->DecodeColumn(0);
+  ASSERT_EQ(col.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(col[i], t->Get(i, 0));
+}
+
+TEST(TableTest, MemoryUsageReflectsCompression) {
+  std::vector<Value> narrow(10'000);
+  for (size_t i = 0; i < narrow.size(); ++i) {
+    narrow[i] = 1'000'000 + static_cast<Value>(i % 16);
+  }
+  StatusOr<Table> compressed =
+      Table::FromColumns({narrow}, Column::Encoding::kBlockDelta);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->MemoryUsageBytes(),
+            compressed->UncompressedBytes() / 4);
+}
+
+}  // namespace
+}  // namespace flood

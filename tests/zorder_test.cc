@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "baselines/zorder_curve.h"
+#include "common/rng.h"
+
+namespace flood {
+namespace {
+
+TEST(ZOrderCurveTest, EncodeDecodeRoundTrip) {
+  for (size_t d : {size_t{1}, size_t{2}, size_t{3}, size_t{6}, size_t{10}}) {
+    const ZOrderCurve curve(d);
+    Rng rng(d * 17);
+    std::vector<uint32_t> coords(d);
+    for (int trial = 0; trial < 500; ++trial) {
+      for (auto& c : coords) {
+        c = static_cast<uint32_t>(rng.UniformInt(0, curve.max_coord()));
+      }
+      const uint64_t z = curve.Encode(coords.data());
+      for (size_t dim = 0; dim < d; ++dim) {
+        EXPECT_EQ(curve.Decode(z, dim), coords[dim]);
+      }
+    }
+  }
+}
+
+TEST(ZOrderCurveTest, TwoDimKnownValues) {
+  const ZOrderCurve curve(2);
+  // Classic Morton: (x=1, y=0) -> 0b01; (x=0, y=1) -> 0b10; (1,1) -> 0b11.
+  uint32_t c10[2] = {1, 0};
+  uint32_t c01[2] = {0, 1};
+  uint32_t c11[2] = {1, 1};
+  EXPECT_EQ(curve.Encode(c10), 0b01u);
+  EXPECT_EQ(curve.Encode(c01), 0b10u);
+  EXPECT_EQ(curve.Encode(c11), 0b11u);
+  uint32_t c23[2] = {2, 3};  // x=10, y=11 -> interleave y1 x1 y0 x0 = 1110.
+  EXPECT_EQ(curve.Encode(c23), 0b1110u);
+}
+
+TEST(ZOrderCurveTest, InBoxMatchesCoordinateCheck) {
+  for (size_t d : {size_t{2}, size_t{3}, size_t{4}}) {
+    const ZOrderCurve curve(d);
+    Rng rng(d * 31);
+    std::vector<uint32_t> lo(d);
+    std::vector<uint32_t> hi(d);
+    std::vector<uint32_t> p(d);
+    for (int trial = 0; trial < 300; ++trial) {
+      for (size_t i = 0; i < d; ++i) {
+        uint32_t a = static_cast<uint32_t>(rng.UniformInt(0, 63));
+        uint32_t b = static_cast<uint32_t>(rng.UniformInt(0, 63));
+        if (a > b) std::swap(a, b);
+        lo[i] = a;
+        hi[i] = b;
+        p[i] = static_cast<uint32_t>(rng.UniformInt(0, 63));
+      }
+      const uint64_t zmin = curve.Encode(lo.data());
+      const uint64_t zmax = curve.Encode(hi.data());
+      const uint64_t z = curve.Encode(p.data());
+      bool expected = true;
+      for (size_t i = 0; i < d; ++i) {
+        expected = expected && p[i] >= lo[i] && p[i] <= hi[i];
+      }
+      EXPECT_EQ(curve.InBox(z, zmin, zmax), expected);
+    }
+  }
+}
+
+/// Brute-force BIGMIN: enumerate all lattice points of the box, find the
+/// smallest code strictly greater than z.
+std::optional<uint64_t> BruteNextInBox(const ZOrderCurve& curve,
+                                       uint64_t z,
+                                       const std::vector<uint32_t>& lo,
+                                       const std::vector<uint32_t>& hi) {
+  const size_t d = lo.size();
+  std::vector<uint32_t> c = lo;
+  std::optional<uint64_t> best;
+  while (true) {
+    const uint64_t code = curve.Encode(c.data());
+    if (code > z && (!best.has_value() || code < *best)) best = code;
+    size_t k = d;
+    bool done = true;
+    while (k-- > 0) {
+      if (++c[k] <= hi[k]) {
+        done = false;
+        break;
+      }
+      c[k] = lo[k];
+    }
+    if (done) break;
+  }
+  return best;
+}
+
+class BigMinTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigMinTest, MatchesBruteForce) {
+  const size_t d = GetParam();
+  const ZOrderCurve curve(d);
+  Rng rng(d * 101);
+  const uint32_t max_coord = d <= 2 ? 15 : 7;  // Keep brute force small.
+  std::vector<uint32_t> lo(d);
+  std::vector<uint32_t> hi(d);
+  std::vector<uint32_t> p(d);
+  for (int trial = 0; trial < 400; ++trial) {
+    for (size_t i = 0; i < d; ++i) {
+      uint32_t a = static_cast<uint32_t>(rng.UniformInt(0, max_coord));
+      uint32_t b = static_cast<uint32_t>(rng.UniformInt(0, max_coord));
+      if (a > b) std::swap(a, b);
+      lo[i] = a;
+      hi[i] = b;
+      p[i] = static_cast<uint32_t>(rng.UniformInt(0, max_coord));
+    }
+    const uint64_t zmin = curve.Encode(lo.data());
+    const uint64_t zmax = curve.Encode(hi.data());
+    const uint64_t z = curve.Encode(p.data());
+    const auto got = curve.NextInBox(z, zmin, zmax);
+    const auto expected = BruteNextInBox(curve, z, lo, hi);
+    EXPECT_EQ(got.has_value(), expected.has_value())
+        << "d=" << d << " trial=" << trial;
+    if (got.has_value() && expected.has_value()) {
+      EXPECT_EQ(*got, *expected) << "d=" << d << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BigMinTest,
+                         ::testing::Values(size_t{2}, size_t{3}, size_t{4},
+                                           size_t{5}),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(ZOrderMapperTest, CoordinatesMonotoneInValue) {
+  StatusOr<Table> t = Table::FromColumns(
+      {{-100, 0, 50, 999'999}, {3, 7, 7, 9}});
+  ASSERT_TRUE(t.ok());
+  const ZOrderMapper mapper(*t, {0, 1});
+  uint32_t prev = 0;
+  for (Value v = -100; v <= 1'000'000; v += 10'000) {
+    const uint32_t c = mapper.ToCoord(0, v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // Out-of-range values clamp.
+  EXPECT_EQ(mapper.ToCoord(0, kValueMin), 0u);
+  EXPECT_EQ(mapper.ToCoord(0, kValueMax),
+            mapper.ToCoord(0, t->max_value(0)));
+}
+
+}  // namespace
+}  // namespace flood
