@@ -8,14 +8,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/clustered_index.h"
-#include "baselines/full_scan.h"
-#include "baselines/grid_file.h"
-#include "baselines/hyperoctree.h"
-#include "baselines/kd_tree.h"
-#include "baselines/r_tree.h"
-#include "baselines/ub_tree.h"
-#include "baselines/zorder_index.h"
+#include "api/database.h"
+#include "api/index_registry.h"
 #include "common/timer.h"
 #include "core/layout_optimizer.h"
 #include "data/datasets.h"
@@ -130,43 +124,27 @@ inline const std::vector<std::string>& AllBaselineNames() {
   return *names;
 }
 
-/// Builds a baseline by name. `page_size` tunes page-structured indexes
-/// (ignored by the others). Returns an error status when construction
-/// fails (e.g. Grid File budget on skewed data -> paper's "N/A").
+/// Builds a baseline through the IndexRegistry (any registered name or
+/// alias works). `page_size` tunes page-structured indexes (ignored by the
+/// others). Returns an error status when construction fails (e.g. Grid
+/// File budget on skewed data -> paper's "N/A").
 inline StatusOr<std::unique_ptr<MultiDimIndex>> BuildBaseline(
     const std::string& name, const Table& table, const BuildContext& ctx,
     size_t page_size = 1024) {
-  std::unique_ptr<MultiDimIndex> index;
-  if (name == "FullScan") {
-    index = std::make_unique<FullScanIndex>();
-  } else if (name == "Clustered") {
-    index = std::make_unique<ClusteredColumnIndex>();
-  } else if (name == "RStarTree") {
-    RTreeIndex::Options o;
-    o.leaf_capacity = page_size;
-    index = std::make_unique<RTreeIndex>(o);
-  } else if (name == "ZOrder") {
-    ZOrderIndex::Options o;
-    o.page_size = page_size;
-    index = std::make_unique<ZOrderIndex>(o);
-  } else if (name == "UBtree") {
-    index = std::make_unique<UbTreeIndex>();
-  } else if (name == "Hyperoctree") {
-    HyperoctreeIndex::Options o;
-    o.page_size = page_size;
-    index = std::make_unique<HyperoctreeIndex>(o);
-  } else if (name == "KdTree") {
-    KdTreeIndex::Options o;
-    o.page_size = page_size;
-    index = std::make_unique<KdTreeIndex>(o);
-  } else if (name == "GridFile") {
-    GridFileIndex::Options o;
-    o.page_size = std::max<size_t>(page_size, 512);
-    index = std::make_unique<GridFileIndex>(o);
-  } else {
-    return Status::InvalidArgument("unknown baseline: " + name);
+  IndexOptions opts;
+  opts.SetInt("page_size", static_cast<int64_t>(page_size));
+  const StatusOr<std::string> canonical =
+      IndexRegistry::Global().Resolve(name);
+  if (canonical.ok() && *canonical == "grid_file") {
+    // The grid file needs roomier pages to stay inside its directory
+    // budget on the bench datasets.
+    opts.SetInt("page_size",
+                static_cast<int64_t>(std::max<size_t>(page_size, 512)));
   }
-  FLOOD_RETURN_IF_ERROR(index->Build(table, ctx));
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      IndexRegistry::Global().Create(name, opts);
+  if (!index.ok()) return index.status();
+  FLOOD_RETURN_IF_ERROR((*index)->Build(table, ctx));
   return index;
 }
 

@@ -1,16 +1,18 @@
 // Adaptive workloads (§7.4 Fig. 10 + §8): a long-running service whose
-// query mix shifts. The CostMonitor detects the drift, the layout is
-// re-learned online, and a DeltaBuffer absorbs inserts between rebuilds.
+// query mix shifts. The CostMonitor detects the drift, Database::Retrain
+// re-learns the layout online, and a DeltaBuffer absorbs inserts between
+// rebuilds.
 //
 //   $ ./examples/adaptive_workloads
 
 #include <cstdio>
 
+#include "api/database.h"
 #include "core/cost_model.h"
 #include "core/delta_buffer.h"
-#include "core/layout_optimizer.h"
+#include "core/flood_index.h"
 #include "data/datasets.h"
-#include "query/executor.h"
+#include "query/visitor.h"
 
 int main() {
   using namespace flood;
@@ -21,19 +23,18 @@ int main() {
   // Phase 1: date-oriented reporting workload.
   const Workload phase1 =
       MakeWorkload(tpch, WorkloadKind::kOlapSkewed, 120, 22);
-  auto built = BuildOptimizedFlood(tpch.table, phase1, CostModel::Default());
-  FLOOD_CHECK(built.ok());
-  std::printf("phase-1 layout: %s\n",
-              built->index->layout().ToString().c_str());
+  DatabaseOptions options;
+  options.index_name = "flood";
+  options.training_workload = phase1;
+  auto db = Database::Open(tpch.table, std::move(options));
+  FLOOD_CHECK(db.ok());
+  std::printf("phase-1 %s\n", db->Describe().c_str());
 
   CostMonitor monitor(/*degradation_threshold=*/1.5, /*ewma_alpha=*/0.1);
   {
-    QueryStats stats;
-    for (const Query& q : phase1) {
-      (void)ExecuteAggregate(*built->index, q, &stats);
-    }
-    const double baseline =
-        static_cast<double>(stats.total_ns) / phase1.size();
+    const BatchResult warmup = db->RunBatch(phase1);
+    const double baseline = static_cast<double>(warmup.stats.total_ns) /
+                            static_cast<double>(phase1.size());
     monitor.Rebase(baseline);
     std::printf("phase-1 avg query: %.3f ms\n", baseline / 1e6);
   }
@@ -43,7 +44,9 @@ int main() {
   // current layout, exactly what §8's shift detection is for.
   size_t shifted_dim = 1;
   {
-    const GridLayout& layout = built->index->layout();
+    const auto* flood_index = dynamic_cast<const FloodIndex*>(&db->index());
+    FLOOD_CHECK(flood_index != nullptr);
+    const GridLayout& layout = flood_index->layout();
     for (size_t i = 0; i < layout.NumGridDims(); ++i) {
       if (layout.columns[i] == 1) {
         shifted_dim = layout.grid_dim(i);
@@ -62,9 +65,8 @@ int main() {
               "excluded --\n",
               shifted_dim, tpch.table.name(shifted_dim).c_str());
   for (const Query& q : phase2) {
-    QueryStats stats;
-    (void)ExecuteAggregate(*built->index, q, &stats);
-    monitor.Observe(static_cast<double>(stats.total_ns));
+    const QueryResult r = db->Run(q);
+    monitor.Observe(static_cast<double>(r.stats.total_ns));
     if (monitor.ShouldRetrain()) break;
   }
   std::printf("monitor: rolling %.3f ms vs baseline %.3f ms -> retrain=%s\n",
@@ -72,25 +74,12 @@ int main() {
               monitor.ShouldRetrain() ? "YES" : "no");
 
   if (monitor.ShouldRetrain()) {
-    auto relearned =
-        BuildOptimizedFlood(tpch.table, phase2, CostModel::Default());
-    FLOOD_CHECK(relearned.ok());
-    QueryStats before;
-    QueryStats after;
-    for (const Query& q : phase2) {
-      (void)ExecuteAggregate(*built->index, q, &before);
-      (void)ExecuteAggregate(*relearned->index, q, &after);
-    }
-    std::printf("re-learned layout: %s\n",
-                relearned->index->layout().ToString().c_str());
-    std::printf("phase-2 avg: stale %.3f ms -> fresh %.3f ms (%.1fx, "
-                "learned in %.2fs)\n",
-                static_cast<double>(before.total_ns) / phase2.size() / 1e6,
-                static_cast<double>(after.total_ns) / phase2.size() / 1e6,
-                static_cast<double>(before.total_ns) /
-                    static_cast<double>(after.total_ns),
-                relearned->learn.learning_seconds);
-    built = std::move(*relearned);
+    const double stale_ms = db->RunBatch(phase2).AvgLatencyMs();
+    FLOOD_CHECK(db->Retrain(phase2).ok());
+    const double fresh_ms = db->RunBatch(phase2).AvgLatencyMs();
+    std::printf("re-learned %s\n", db->Describe().c_str());
+    std::printf("phase-2 avg: stale %.3f ms -> fresh %.3f ms (%.1fx)\n",
+                stale_ms, fresh_ms, stale_ms / fresh_ms);
   }
 
   // Inserts between rebuilds: buffer + combined query, then merge.
@@ -108,27 +97,30 @@ int main() {
                     .ok());
   }
   Query q = QueryBuilder(7).Range(0, 1000, 1002).Count().Build();
-  CountVisitor main_count;
-  built->index->Execute(q, main_count, nullptr);
+  const uint64_t main_count = db->Run(q).count;
   CountVisitor delta_count;
   buffer.Scan(q, delta_count, tpch.table.num_rows(), nullptr);
   std::printf("combined count (index %llu + buffer %llu) = %llu\n",
-              static_cast<unsigned long long>(main_count.count()),
+              static_cast<unsigned long long>(main_count),
               static_cast<unsigned long long>(delta_count.count()),
-              static_cast<unsigned long long>(main_count.count() +
+              static_cast<unsigned long long>(main_count +
                                               delta_count.count()));
 
+  // Merge the buffer and reopen on the widened table, pinning the layout
+  // we just learned (GridLayout::Serialize travels through the options
+  // map, so no optimizer run is needed).
   auto merged = buffer.MergeInto(tpch.table);
   FLOOD_CHECK(merged.ok());
-  FloodIndex::Options opts;
-  opts.layout = built->index->layout();
-  FloodIndex rebuilt(opts);
-  BuildContext ctx;
-  ctx.sample = DataSample::FromTable(*merged, 10'000, 25);
-  FLOOD_CHECK(rebuilt.Build(*merged, ctx).ok());
-  const AggResult merged_result = ExecuteAggregate(rebuilt, q, nullptr);
+  const auto* flood_index = dynamic_cast<const FloodIndex*>(&db->index());
+  FLOOD_CHECK(flood_index != nullptr);
+  DatabaseOptions reopen;
+  reopen.index_name = "flood";
+  reopen.index_options.Set("layout", flood_index->layout().Serialize());
+  auto rebuilt = Database::Open(std::move(*merged), std::move(reopen));
+  FLOOD_CHECK(rebuilt.ok());
+  const QueryResult merged_result = rebuilt->Run(q);
   std::printf("after merge + rebuild: %llu rows (table now %zu rows)\n",
               static_cast<unsigned long long>(merged_result.count),
-              merged->num_rows());
+              rebuilt->num_rows());
   return 0;
 }

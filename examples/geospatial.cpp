@@ -1,17 +1,18 @@
 // Geospatial analytics on OpenStreetMap-like data: answering the paper's
 // §7.3 questions ("how many nodes were added in a time interval?", "how
 // many landmarks of a category in a lat-lon rectangle?"), with dictionary
-// encoding for the category strings.
+// encoding for the category strings. Queries run through the
+// flood::Database facade; the kNN drill-down uses the FloodIndex escape
+// hatch, since grid-based kNN is a Flood-specific extension (§6).
 //
 //   $ ./examples/geospatial
 
 #include <cstdio>
 #include <string>
 
+#include "api/database.h"
 #include "core/knn.h"
-#include "core/layout_optimizer.h"
 #include "data/datasets.h"
-#include "query/executor.h"
 #include "storage/dictionary.h"
 
 int main() {
@@ -32,10 +33,12 @@ int main() {
 
   const auto [train, test] =
       MakeWorkload(osm, WorkloadKind::kOlapSkewed, 160, 14).Split(0.5, 15);
-  auto flood = BuildOptimizedFlood(osm.table, train, CostModel::Default());
-  FLOOD_CHECK(flood.ok());
-  std::printf("Flood layout: %s\n\n",
-              flood->index->layout().ToString().c_str());
+  DatabaseOptions options;
+  options.index_name = "flood";
+  options.training_workload = train;
+  auto db = Database::Open(osm.table, std::move(options));
+  FLOOD_CHECK(db.ok());
+  std::printf("%s\n\n", db->Describe().c_str());
 
   // "How many records were added in the last 90 days of the data?"
   {
@@ -44,11 +47,10 @@ int main() {
                   .Range(1, t_end - 90 * 86'400, t_end)
                   .Count()
                   .Build();
-    QueryStats stats;
-    const AggResult r = ExecuteAggregate(*flood->index, q, &stats);
+    const QueryResult r = db->Run(q);
     std::printf("records added in the last 90 days: %llu (%.3f ms)\n",
                 static_cast<unsigned long long>(r.count),
-                static_cast<double>(stats.total_ns) / 1e6);
+                static_cast<double>(r.stats.total_ns) / 1e6);
   }
 
   // "How many 'school' landmarks in a Boston-sized lat-lon rectangle?"
@@ -59,19 +61,18 @@ int main() {
                   .Equals(5, school)
                   .Count()
                   .Build();
-    QueryStats stats;
-    const AggResult r = ExecuteAggregate(*flood->index, q, &stats);
+    const QueryResult r = db->Run(q);
     std::printf("'%s' landmarks in the rectangle: %llu (%.3f ms, scanned "
                 "%llu of %zu rows)\n",
                 categories.Decode(school).c_str(),
                 static_cast<unsigned long long>(r.count),
-                static_cast<double>(stats.total_ns) / 1e6,
-                static_cast<unsigned long long>(stats.points_scanned),
+                static_cast<double>(r.stats.total_ns) / 1e6,
+                static_cast<unsigned long long>(r.stats.points_scanned),
                 osm.table.num_rows());
   }
 
   // A nearest-landmark-style drill-down: shrink the rectangle until the
-  // count is small enough to materialize row ids (kCollect).
+  // count is small enough to materialize row ids.
   {
     Value half_width = 400'000;
     const Value lat0 = 40'750'000;
@@ -81,25 +82,26 @@ int main() {
                     .Range(2, lat0 - half_width, lat0 + half_width)
                     .Range(3, lon0 - half_width, lon0 + half_width)
                     .Build();
-      const AggResult r = ExecuteAggregate(*flood->index, q, nullptr);
-      if (r.count <= 64) {
-        CollectVisitor rows;
-        flood->index->Execute(q, rows, nullptr);
+      if (db->Run(q).count <= 64) {
+        const QueryResult rows = db->Collect(q);
         std::printf("drill-down: %zu rows within +/-%lld micro-deg; first "
                     "row id %llu\n",
-                    rows.rows().size(), static_cast<long long>(half_width),
-                    rows.rows().empty()
+                    rows.rows.size(), static_cast<long long>(half_width),
+                    rows.rows.empty()
                         ? 0ULL
-                        : static_cast<unsigned long long>(rows.rows()[0]));
+                        : static_cast<unsigned long long>(rows.rows[0]));
         break;
       }
       half_width /= 2;
     }
   }
+
   // k-nearest-neighbors (paper §6's grid-based kNN extension): the five
   // records closest to a point in (lat, lon) space.
   {
-    KnnEngine knn(flood->index.get(), /*dims=*/{2, 3});
+    const auto* flood_index = dynamic_cast<const FloodIndex*>(&db->index());
+    FLOOD_CHECK(flood_index != nullptr);
+    KnnEngine knn(flood_index, /*dims=*/{2, 3});
     std::vector<Value> point(6, 0);
     point[2] = 40'750'000;   // lat
     point[3] = -73'990'000;  // lon
@@ -109,10 +111,8 @@ int main() {
       std::printf("  row %llu at (%.4f, %.4f), distance %.0f micro-deg "
                   "(visited %zu cells)\n",
                   static_cast<unsigned long long>(nb.row),
-                  static_cast<double>(flood->index->data().Get(nb.row, 2)) /
-                      1e6,
-                  static_cast<double>(flood->index->data().Get(nb.row, 3)) /
-                      1e6,
+                  static_cast<double>(db->data().Get(nb.row, 2)) / 1e6,
+                  static_cast<double>(db->data().Get(nb.row, 3)) / 1e6,
                   nb.distance, knn.last_cells_visited());
     }
   }

@@ -1,20 +1,22 @@
-// Quickstart: build a Flood index over an in-memory table, learn its
-// layout from a handful of example queries, and run aggregations.
+// Quickstart: open a flood::Database over an in-memory table, let it learn
+// a Flood layout from a handful of example queries, and run aggregations —
+// no concrete index types, no visitor wiring.
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
 #include <vector>
 
+#include "api/database.h"
+#include "api/index_registry.h"
 #include "common/rng.h"
-#include "core/layout_optimizer.h"
-#include "query/executor.h"
 
-using flood::AggResult;
-using flood::CostModel;
+using flood::Database;
+using flood::DatabaseOptions;
+using flood::IndexRegistry;
 using flood::Query;
 using flood::QueryBuilder;
-using flood::QueryStats;
+using flood::QueryResult;
 using flood::Rng;
 using flood::Table;
 using flood::Value;
@@ -53,36 +55,57 @@ int main() {
                   .Build());
   }
 
-  // 3. Learn the layout and build the index. CostModel::Default() ships
-  //    analytic weights; CostModel::Calibrate() tunes them to your machine.
-  const CostModel cost_model = CostModel::Default();
-  auto built = flood::BuildOptimizedFlood(*table, train, cost_model);
-  if (!built.ok()) {
-    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+  // 3. Open the database. The index is chosen by registry name — any of
+  //    IndexRegistry::Global().Names() works here; "flood" learns its
+  //    layout from the training workload.
+  DatabaseOptions options;
+  options.index_name = "flood";
+  options.training_workload = train;
+  auto db = Database::Open(std::move(*table), std::move(options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
     return 1;
   }
-  std::printf("learned layout: %s (%llu cells) in %.2fs\n",
-              built->index->layout().ToString().c_str(),
-              static_cast<unsigned long long>(built->index->num_cells()),
-              built->learn.learning_seconds);
+  std::printf("opened database: %s, index size %zu bytes\n",
+              db->Describe().c_str(), db->IndexSizeBytes());
 
-  // 4. Query it.
+  // 4. Query it: Run() returns a typed result (count/sum) plus stats.
   const Query q = QueryBuilder(3)
                       .Range(0, 250'000, 260'000)
                       .Range(1, 500'000, 550'000)
                       .Sum(2)
                       .Build();
-  QueryStats stats;
-  const AggResult result = flood::ExecuteAggregate(*built->index, q, &stats);
+  const QueryResult result = db->Run(q);
   std::printf("SUM(value) over x in [250k,260k], y in [500k,550k]: %lld "
               "(%llu rows)\n",
               static_cast<long long>(result.sum),
               static_cast<unsigned long long>(result.count));
   std::printf("query took %.3f ms, scanned %llu points for %llu matches "
               "(overhead %.1fx)\n",
-              static_cast<double>(stats.total_ns) / 1e6,
-              static_cast<unsigned long long>(stats.points_scanned),
-              static_cast<unsigned long long>(stats.points_matched),
-              stats.ScanOverhead());
+              static_cast<double>(result.stats.total_ns) / 1e6,
+              static_cast<unsigned long long>(result.stats.points_scanned),
+              static_cast<unsigned long long>(result.stats.points_matched),
+              result.stats.ScanOverhead());
+
+  // 5. Batches amortize dispatch and aggregate the stats for you.
+  const auto batch = db->RunBatch(train);
+  std::printf("replayed the %zu training queries: avg %.3f ms\n",
+              batch.results.size(), batch.AvgLatencyMs());
+
+  // 6. Row retrieval without visitor plumbing.
+  Query narrow = QueryBuilder(3)
+                     .Range(0, 250'000, 254'000)
+                     .Range(1, 500'000, 510'000)
+                     .Build();
+  const QueryResult rows = db->Collect(narrow);
+  std::printf("narrow box holds %zu rows (ids in index storage order)\n",
+              rows.rows.size());
+
+  // 7. The same three lines work for every registered index.
+  std::printf("\nregistered indexes:");
+  for (const auto& name : IndexRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
   return 0;
 }

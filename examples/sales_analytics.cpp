@@ -1,32 +1,17 @@
 // Sales analytics: the paper's motivating OLAP scenario — an analyst
 // dashboard issuing revenue/report queries over a sales table. Shows the
 // speedup of a learned layout over a full scan and a single-dimension
-// clustered index on the same queries.
+// clustered index on the same queries, with every engine opened through
+// the flood::Database facade by registry name.
 //
 //   $ ./examples/sales_analytics
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baselines/clustered_index.h"
-#include "baselines/full_scan.h"
-#include "common/timer.h"
-#include "core/layout_optimizer.h"
+#include "api/database.h"
 #include "data/datasets.h"
-#include "query/executor.h"
-
-namespace {
-
-double RunAll(const flood::MultiDimIndex& index,
-              const flood::Workload& queries) {
-  flood::QueryStats stats;
-  for (const flood::Query& q : queries) {
-    (void)flood::ExecuteAggregate(index, q, &stats);
-  }
-  return static_cast<double>(stats.total_ns) / 1e6 /
-         static_cast<double>(queries.size());
-}
-
-}  // namespace
 
 int main() {
   using namespace flood;
@@ -36,21 +21,20 @@ int main() {
   const auto [train, test] =
       MakeWorkload(sales, WorkloadKind::kOlapSkewed, 200, 8).Split(0.5, 9);
 
-  BuildContext ctx;
-  ctx.workload = &train;
-  ctx.sample = DataSample::FromTable(sales.table, 10'000, 1);
-
-  FullScanIndex full_scan;
-  FLOOD_CHECK(full_scan.Build(sales.table, ctx).ok());
-  ClusteredColumnIndex clustered;  // Sorts by the most selective dimension.
-  FLOOD_CHECK(clustered.Build(sales.table, ctx).ok());
-
-  auto flood_built =
-      BuildOptimizedFlood(sales.table, train, CostModel::Default());
-  FLOOD_CHECK(flood_built.ok());
-  std::printf("Flood layout: %s (learned in %.2fs)\n\n",
-              flood_built->index->layout().ToString().c_str(),
-              flood_built->learn.learning_seconds);
+  // One database per engine; the training workload tunes each of them
+  // (Flood learns its layout, the clustered index picks its sort
+  // dimension, SUM dims get prefix sums).
+  std::vector<Database> engines;
+  for (const std::string& name : {"full_scan", "clustered", "flood"}) {
+    DatabaseOptions options;
+    options.index_name = name;
+    options.training_workload = train;
+    auto db = Database::Open(sales.table, std::move(options));
+    FLOOD_CHECK(db.ok());
+    engines.push_back(std::move(*db));
+  }
+  Database& flood_db = engines.back();
+  std::printf("Flood layout: %s\n\n", flood_db.Describe().c_str());
 
   // Example report: monthly revenue for bulk orders (quantity >= 50).
   {
@@ -60,20 +44,22 @@ int main() {
                        .Range(3, 50, 100)                        // quantity
                        .Sum(4)                                   // unit_price
                        .Build();
-    QueryStats stats;
-    const AggResult r =
-        ExecuteAggregate(*flood_built->index, report, &stats);
+    const QueryResult r = flood_db.Run(report);
     std::printf("bulk-order revenue for one month: %lld cents over %llu "
                 "orders (%.3f ms)\n",
                 static_cast<long long>(r.sum),
                 static_cast<unsigned long long>(r.count),
-                static_cast<double>(stats.total_ns) / 1e6);
+                static_cast<double>(r.stats.total_ns) / 1e6);
   }
 
   // Dashboard refresh: the analyst's whole test workload on each engine.
-  const double scan_ms = RunAll(full_scan, test);
-  const double clustered_ms = RunAll(clustered, test);
-  const double flood_ms = RunAll(*flood_built->index, test);
+  std::vector<double> avg_ms;
+  for (Database& db : engines) {
+    avg_ms.push_back(db.RunBatch(test).AvgLatencyMs());
+  }
+  const double scan_ms = avg_ms[0];
+  const double clustered_ms = avg_ms[1];
+  const double flood_ms = avg_ms[2];
   std::printf("\navg query time over %zu analyst queries:\n", test.size());
   std::printf("  full scan        %8.3f ms\n", scan_ms);
   std::printf("  clustered index  %8.3f ms (%.0fx vs scan)\n", clustered_ms,

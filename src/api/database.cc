@@ -1,0 +1,108 @@
+#include "api/database.h"
+
+#include <utility>
+
+#include "api/index_registry.h"
+#include "query/executor.h"
+#include "query/visitor.h"
+
+namespace flood {
+
+StatusOr<Database> Database::Open(const Table& table,
+                                  DatabaseOptions options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot open a database on an empty table");
+  }
+  StatusOr<std::string> canonical =
+      IndexRegistry::Global().Resolve(options.index_name);
+  if (!canonical.ok()) return canonical.status();
+
+  Database db(std::move(options), *canonical);
+  StatusOr<std::unique_ptr<MultiDimIndex>> index = db.BuildIndex(
+      table, db.options_.training_workload.has_value()
+                 ? &*db.options_.training_workload
+                 : nullptr);
+  if (!index.ok()) return index.status();
+  db.index_ = std::move(*index);
+  return db;
+}
+
+StatusOr<std::unique_ptr<MultiDimIndex>> Database::BuildIndex(
+    const Table& table, const Workload* workload) const {
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      IndexRegistry::Global().Create(index_name_, options_.index_options);
+  if (!index.ok()) return index.status();
+  BuildContext ctx;
+  ctx.workload = workload;
+  ctx.sample =
+      DataSample::FromTable(table, options_.sample_size, options_.sample_seed);
+  FLOOD_RETURN_IF_ERROR((*index)->Build(table, ctx));
+  return index;
+}
+
+QueryResult Database::Run(const Query& query) {
+  // Arity mismatches would read past the column array deep in the scan
+  // loops; fail loudly at the API boundary instead.
+  FLOOD_CHECK(query.num_dims() == num_dims());
+  QueryResult result;
+  result.kind = query.agg().kind == AggSpec::Kind::kSum
+                    ? QueryResult::Kind::kSum
+                    : QueryResult::Kind::kCount;
+  ++queries_run_;
+  if (query.IsEmpty()) {
+    ++empty_queries_skipped_;
+    return result;
+  }
+  const AggResult agg = ExecuteAggregate(*index_, query, &result.stats);
+  result.count = agg.count;
+  result.sum = agg.sum;
+  cumulative_stats_.Add(result.stats);
+  return result;
+}
+
+QueryResult Database::Collect(const Query& query) {
+  FLOOD_CHECK(query.num_dims() == num_dims());
+  QueryResult result;
+  result.kind = QueryResult::Kind::kRows;
+  ++queries_run_;
+  if (query.IsEmpty()) {
+    ++empty_queries_skipped_;
+    return result;
+  }
+  CollectVisitor visitor;
+  index_->Execute(query, visitor, &result.stats);
+  result.rows = std::move(visitor.mutable_rows());
+  result.count = result.rows.size();
+  cumulative_stats_.Add(result.stats);
+  return result;
+}
+
+BatchResult Database::RunBatch(std::span<const Query> queries) {
+  BatchResult batch;
+  batch.results.reserve(queries.size());
+  const uint64_t skipped_before = empty_queries_skipped_;
+  for (const Query& query : queries) {
+    batch.results.push_back(Run(query));
+    batch.stats.Add(batch.results.back().stats);
+  }
+  batch.empty_skipped =
+      static_cast<size_t>(empty_queries_skipped_ - skipped_before);
+  return batch;
+}
+
+BatchResult Database::RunBatch(const Workload& workload) {
+  return RunBatch(std::span<const Query>(workload.queries()));
+}
+
+Status Database::Retrain(const Workload& workload) {
+  // The index's storage copy is a row permutation of the original table,
+  // and every Build re-clusters its input, so it serves as the source.
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      BuildIndex(index_->data(), &workload);
+  if (!index.ok()) return index.status();
+  index_ = std::move(*index);
+  options_.training_workload = workload;
+  return Status::OK();
+}
+
+}  // namespace flood

@@ -1,0 +1,159 @@
+#ifndef FLOOD_API_DATABASE_H_
+#define FLOOD_API_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/index_options.h"
+#include "common/status.h"
+#include "query/multidim_index.h"
+#include "query/query.h"
+#include "query/query_stats.h"
+#include "query/workload.h"
+#include "storage/table.h"
+
+namespace flood {
+
+/// Typed result of one query through the Database facade.
+struct QueryResult {
+  enum class Kind { kCount, kSum, kRows };
+
+  Kind kind = Kind::kCount;
+  uint64_t count = 0;          ///< Matching rows (always populated).
+  int64_t sum = 0;             ///< Populated when kind == kSum.
+  std::vector<RowId> rows;     ///< Populated when kind == kRows (storage
+                               ///< order of the index; set semantics).
+  QueryStats stats;            ///< Per-query counters and timings.
+};
+
+/// Result of a batched execution: per-query results plus the aggregate
+/// statistics the benches report (avg latency, scan overhead, ...).
+struct BatchResult {
+  std::vector<QueryResult> results;
+  QueryStats stats;         ///< Accumulated over the batch.
+  size_t empty_skipped = 0; ///< Queries short-circuited by Query::IsEmpty.
+
+  double AvgLatencyMs() const {
+    if (results.empty()) return 0.0;
+    return static_cast<double>(stats.total_ns) /
+           static_cast<double>(results.size()) / 1e6;
+  }
+};
+
+/// How Database::Open builds its index.
+struct DatabaseOptions {
+  /// Registry key ("flood", "kdtree", "rtree", "grid_file", "zorder",
+  /// "octree", "ubtree", "clustered", "full_scan", or an alias).
+  std::string index_name = "flood";
+  /// Forwarded to the index factory (page sizes, flatten mode, ...).
+  IndexOptions index_options;
+  /// Training workload: Flood learns its layout from it, baselines use it
+  /// for their tuning knobs (sort-dimension selection, dimension ordering
+  /// by selectivity), and SUM-aggregated dimensions get prefix-sum side
+  /// columns. Without it every index falls back to workload-free defaults.
+  std::optional<Workload> training_workload;
+  /// Row-sample size used for selectivity estimates at build time.
+  size_t sample_size = 20'000;
+  uint64_t sample_seed = 7;
+};
+
+/// The front door of the library: owns a table and one index over it, and
+/// executes queries with the visitor wiring hidden behind typed results.
+///
+///   auto db = Database::Open(std::move(table),
+///                            {.index_name = "flood",
+///                             .training_workload = train});
+///   if (!db.ok()) { ... }
+///   QueryResult r = db->Run(QueryBuilder(3).Range(0, lo, hi).Sum(2).Build());
+///
+/// Adding an index or enumerating all of them goes through IndexRegistry;
+/// nothing above this layer names a concrete index type.
+class Database {
+ public:
+  /// Builds the chosen index over `table`; the index keeps its own
+  /// clustered copy, so the caller's table is not retained. Errors:
+  /// unknown index name, factory option errors, and index Build failures
+  /// (e.g. the Grid File directory budget on skewed data).
+  static StatusOr<Database> Open(const Table& table,
+                                 DatabaseOptions options = {});
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes one aggregation query (COUNT or SUM per `query.agg()`).
+  /// Empty-range queries short-circuit to a zero result without touching
+  /// the index.
+  QueryResult Run(const Query& query);
+
+  /// Executes `query` and returns the matching row ids (kind == kRows).
+  /// Row ids refer to the index's storage order, i.e. rows of data().
+  QueryResult Collect(const Query& query);
+
+  /// Runs the batch back-to-back and returns per-query results plus
+  /// aggregate stats; the seam future PRs widen into parallel execution.
+  BatchResult RunBatch(std::span<const Query> queries);
+  BatchResult RunBatch(const Workload& workload);
+
+  /// Rebuilds the index with a new training workload (layout drift,
+  /// changed aggregation dims), re-clustering from the current storage
+  /// copy — no second copy of the table is kept. Keeps the index type and
+  /// options; on failure the old index is left in place.
+  Status Retrain(const Workload& workload);
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Canonical registry key the database was opened with.
+  const std::string& index_name() const { return index_name_; }
+  /// The index's self-reported display name (e.g. "RStarTree").
+  std::string_view index_display_name() const { return index_->name(); }
+  /// One-line physical-layout description (Flood: the learned grid).
+  std::string Describe() const { return index_->Describe(); }
+  /// Structural counters (leaf counts, cells, ...) from the index.
+  std::vector<std::pair<std::string, double>> IndexProperties() const {
+    return index_->DebugProperties();
+  }
+  size_t IndexSizeBytes() const { return index_->IndexSizeBytes(); }
+
+  /// The table in the index's storage order.
+  const Table& data() const { return index_->data(); }
+  size_t num_rows() const { return index_->data().num_rows(); }
+  size_t num_dims() const { return index_->data().num_dims(); }
+
+  /// Escape hatch for advanced callers (kNN engine, custom visitors).
+  const MultiDimIndex& index() const { return *index_; }
+
+  // --- Telemetry ----------------------------------------------------------
+
+  /// Counters and timings accumulated over every query since Open.
+  const QueryStats& cumulative_stats() const { return cumulative_stats_; }
+  uint64_t queries_run() const { return queries_run_; }
+  uint64_t empty_queries_skipped() const { return empty_queries_skipped_; }
+
+ private:
+  Database(DatabaseOptions options, std::string index_name)
+      : options_(std::move(options)), index_name_(std::move(index_name)) {}
+
+  /// Builds an index of the configured type over `table` with `workload`
+  /// as the training context.
+  StatusOr<std::unique_ptr<MultiDimIndex>> BuildIndex(
+      const Table& table, const Workload* workload) const;
+
+  DatabaseOptions options_;
+  std::unique_ptr<MultiDimIndex> index_;
+  std::string index_name_;
+
+  QueryStats cumulative_stats_;
+  uint64_t queries_run_ = 0;
+  uint64_t empty_queries_skipped_ = 0;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_API_DATABASE_H_

@@ -1,0 +1,150 @@
+#include "api/index_registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace flood {
+
+IndexRegistry& IndexRegistry::Global() {
+  static IndexRegistry* registry = new IndexRegistry();
+  return *registry;
+}
+
+std::string IndexRegistry::Normalize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '_' || c == '-') continue;
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+Status IndexRegistry::Register(const std::string& name,
+                               IndexFactory factory) {
+  const std::string key = Normalize(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factories_.count(key) > 0 || aliases_.count(key) > 0) {
+    return Status::FailedPrecondition("index already registered: " + name);
+  }
+  factories_[key] = std::move(factory);
+  canonical_name_[key] = name;
+  return Status::OK();
+}
+
+Status IndexRegistry::RegisterAlias(const std::string& alias,
+                                    const std::string& canonical) {
+  const std::string alias_key = Normalize(alias);
+  const std::string canonical_key = Normalize(canonical);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factories_.count(canonical_key) == 0) {
+    return Status::NotFound("alias target not registered: " + canonical);
+  }
+  if (factories_.count(alias_key) > 0 || aliases_.count(alias_key) > 0) {
+    return Status::FailedPrecondition("index already registered: " + alias);
+  }
+  aliases_[alias_key] = canonical_key;
+  return Status::OK();
+}
+
+bool IndexRegistry::Contains(const std::string& name) const {
+  const std::string key = Normalize(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(key) > 0 || aliases_.count(key) > 0;
+}
+
+StatusOr<std::string> IndexRegistry::Resolve(const std::string& name) const {
+  const std::string key = Normalize(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string resolved = key;
+  auto alias = aliases_.find(key);
+  if (alias != aliases_.end()) resolved = alias->second;
+  auto it = canonical_name_.find(resolved);
+  if (it == canonical_name_.end()) {
+    std::string known;
+    for (const auto& [k, display] : canonical_name_) {
+      if (!known.empty()) known += ", ";
+      known += display;
+    }
+    return Status::NotFound("unknown index \"" + name +
+                            "\"; registered: " + known);
+  }
+  return it->second;
+}
+
+namespace {
+
+/// The factories read these through GetInt/GetDouble/GetBool, which fall
+/// back to the default on a parse failure — so a typo'd value ("4k",
+/// "2048 ") would silently configure the default. Reject it here instead.
+Status ValidateWellKnownOptions(const IndexOptions& options) {
+  static constexpr const char* kIntKeys[] = {
+      "page_size",    "leaf_capacity",     "fanout",
+      "max_depth",    "max_directory_entries", "sort_dim",
+      "rmi_leaves",   "target_cells",      "plm_min_cell_size",
+      "max_cells",    "seed"};
+  static constexpr const char* kDoubleKeys[] = {"plm_delta"};
+  static constexpr const char* kBoolKeys[] = {
+      "use_cell_models", "learn_layout", "enable_run_merging",
+      "enable_exact_ranges"};
+  // A malformed value returns the fallback for *both* probe fallbacks —
+  // impossible for a parsed value, since it would have to equal both.
+  for (const char* key : kIntKeys) {
+    if (options.Has(key) &&
+        options.GetInt(key, 0) == 0 && options.GetInt(key, 1) == 1) {
+      return Status::InvalidArgument(std::string("option \"") + key +
+                                     "\" has non-integer value \"" +
+                                     *options.Get(key) + "\"");
+    }
+  }
+  for (const char* key : kDoubleKeys) {
+    if (options.Has(key) &&
+        options.GetDouble(key, 0.0) == 0.0 &&
+        options.GetDouble(key, 1.0) == 1.0) {
+      return Status::InvalidArgument(std::string("option \"") + key +
+                                     "\" has non-numeric value \"" +
+                                     *options.Get(key) + "\"");
+    }
+  }
+  for (const char* key : kBoolKeys) {
+    if (options.Has(key) &&
+        options.GetBool(key, false) == false &&
+        options.GetBool(key, true) == true) {
+      return Status::InvalidArgument(std::string("option \"") + key +
+                                     "\" has non-boolean value \"" +
+                                     *options.Get(key) + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MultiDimIndex>> IndexRegistry::Create(
+    const std::string& name, const IndexOptions& options) const {
+  StatusOr<std::string> canonical = Resolve(name);
+  if (!canonical.ok()) return canonical.status();
+  FLOOD_RETURN_IF_ERROR(ValidateWellKnownOptions(options));
+  IndexFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    factory = factories_.at(Normalize(*canonical));
+  }
+  return factory(options);
+}
+
+std::vector<std::string> IndexRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(canonical_name_.size());
+    for (const auto& [key, display] : canonical_name_) {
+      names.push_back(display);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace flood

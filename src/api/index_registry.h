@@ -1,0 +1,101 @@
+#ifndef FLOOD_API_INDEX_REGISTRY_H_
+#define FLOOD_API_INDEX_REGISTRY_H_
+
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/index_options.h"
+#include "common/status.h"
+#include "query/multidim_index.h"
+
+namespace flood {
+
+/// Constructs an (unbuilt) index from a generic options map. Factories
+/// validate only their own keys; Build() happens later, once the caller has
+/// a table and a BuildContext.
+using IndexFactory =
+    std::function<StatusOr<std::unique_ptr<MultiDimIndex>>(
+        const IndexOptions&)>;
+
+/// Process-wide, string-keyed catalogue of every index implementation.
+///
+/// Each index registers itself from its own translation unit via a static
+/// IndexRegistrar, so adding an index touches exactly one file and every
+/// bench/test/example that enumerates Names() picks it up automatically.
+/// Canonical keys of the built-ins:
+///   "flood", "kdtree", "rtree", "grid_file", "zorder", "octree",
+///   "ubtree", "clustered", "full_scan".
+/// Lookup is case-insensitive and ignores '_'/'-', and legacy display names
+/// ("RStarTree", "Hyperoctree", ...) are registered as aliases.
+class IndexRegistry {
+ public:
+  /// The process-wide registry instance.
+  static IndexRegistry& Global();
+
+  /// Registers `factory` under canonical key `name`. Re-registering a name
+  /// is an error (kFailedPrecondition).
+  Status Register(const std::string& name, IndexFactory factory);
+
+  /// Registers `alias` to resolve to the already-registered `canonical`.
+  Status RegisterAlias(const std::string& alias,
+                       const std::string& canonical);
+
+  /// True if `name` (canonical or alias, any spelling) is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Resolves `name` to its canonical key, or kNotFound listing the
+  /// registered names.
+  StatusOr<std::string> Resolve(const std::string& name) const;
+
+  /// Creates an unbuilt index. kNotFound for unknown names;
+  /// kInvalidArgument when a well-known numeric/boolean option carries a
+  /// value that does not parse (a typo would otherwise be silently
+  /// replaced by the default); factory errors (e.g. malformed "layout")
+  /// pass through.
+  StatusOr<std::unique_ptr<MultiDimIndex>> Create(
+      const std::string& name, const IndexOptions& options = {}) const;
+
+  /// Sorted canonical names (no aliases).
+  std::vector<std::string> Names() const;
+
+ private:
+  IndexRegistry() = default;
+
+  /// Lowercases and strips '_'/'-' so "grid_file", "GridFile" and
+  /// "gridfile" all collide onto one key.
+  static std::string Normalize(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, IndexFactory> factories_;     // by Normalize(name)
+  std::map<std::string, std::string> canonical_name_; // normalized -> display
+  std::map<std::string, std::string> aliases_;        // normalized -> normalized
+};
+
+/// Registers an index factory at static-initialization time:
+///
+///   namespace {
+///   const IndexRegistrar registrar(
+///       "kdtree", {"kd-tree"},
+///       [](const IndexOptions& opts) -> StatusOr<...> { ... });
+///   }  // namespace
+struct IndexRegistrar {
+  IndexRegistrar(const std::string& name,
+                 std::initializer_list<std::string> aliases,
+                 IndexFactory factory) {
+    const Status st =
+        IndexRegistry::Global().Register(name, std::move(factory));
+    FLOOD_CHECK(st.ok());
+    for (const std::string& alias : aliases) {
+      FLOOD_CHECK(IndexRegistry::Global().RegisterAlias(alias, name).ok());
+    }
+  }
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_API_INDEX_REGISTRY_H_

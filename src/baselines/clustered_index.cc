@@ -1,5 +1,7 @@
 #include "baselines/clustered_index.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -71,5 +73,28 @@ void ClusteredColumnIndex::ExecuteT(const Query& query, V& visitor,
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(ClusteredColumnIndex);
+
+std::vector<std::pair<std::string, double>>
+ClusteredColumnIndex::DebugProperties() const {
+  return {{"sort_dim", static_cast<double>(sort_dim_)}};
+}
+
+std::string ClusteredColumnIndex::Describe() const {
+  return "Clustered[sort_dim=" + std::to_string(sort_dim_) + "]";
+}
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "clustered", {},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      ClusteredColumnIndex::Options o;
+      const int64_t sort_dim = opts.GetInt("sort_dim", -1);
+      if (sort_dim >= 0) o.sort_dim = static_cast<size_t>(sort_dim);
+      o.rmi_leaves = static_cast<size_t>(
+          opts.GetInt("rmi_leaves", static_cast<int64_t>(o.rmi_leaves)));
+      return std::unique_ptr<MultiDimIndex>(new ClusteredColumnIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

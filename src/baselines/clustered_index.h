@@ -35,6 +35,10 @@ class ClusteredColumnIndex final : public StorageBackedIndex {
 
   size_t sort_dim() const { return sort_dim_; }
 
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override;
+  std::string Describe() const override;
+
   template <typename V>
   void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
 

@@ -1,5 +1,7 @@
 #include "baselines/full_scan.h"
 
+#include "api/index_registry.h"
+
 #include "common/timer.h"
 #include "query/scan_util.h"
 
@@ -23,5 +25,13 @@ void FullScanIndex::ExecuteT(const Query& query, V& visitor,
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(FullScanIndex);
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "full_scan", {"scan"},
+    [](const IndexOptions&) -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      return std::unique_ptr<MultiDimIndex>(new FullScanIndex());
+    });
+}  // namespace
 
 }  // namespace flood

@@ -1,5 +1,7 @@
 #include "baselines/grid_file.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -330,5 +332,20 @@ size_t GridFileIndex::IndexSizeBytes() const {
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(GridFileIndex);
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "grid_file", {},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      GridFileIndex::Options o;
+      o.page_size = static_cast<size_t>(
+          opts.GetInt("page_size", static_cast<int64_t>(o.page_size)));
+      o.max_directory_entries = static_cast<size_t>(opts.GetInt(
+          "max_directory_entries",
+          static_cast<int64_t>(o.max_directory_entries)));
+      return std::unique_ptr<MultiDimIndex>(new GridFileIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

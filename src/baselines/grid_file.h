@@ -41,6 +41,11 @@ class GridFileIndex final : public StorageBackedIndex {
 
   size_t num_buckets() const { return bucket_range_.size(); }
 
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override {
+    return {{"num_buckets", static_cast<double>(num_buckets())}};
+  }
+
   template <typename V>
   void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
 

@@ -1,5 +1,7 @@
 #include "baselines/hyperoctree.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -225,5 +227,18 @@ size_t HyperoctreeIndex::IndexSizeBytes() const {
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(HyperoctreeIndex);
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "octree", {"hyperoctree"},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      HyperoctreeIndex::Options o;
+      o.page_size = static_cast<size_t>(
+          opts.GetInt("page_size", static_cast<int64_t>(o.page_size)));
+      o.max_depth = static_cast<int>(opts.GetInt("max_depth", o.max_depth));
+      return std::unique_ptr<MultiDimIndex>(new HyperoctreeIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

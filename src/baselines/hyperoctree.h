@@ -33,6 +33,11 @@ class HyperoctreeIndex final : public StorageBackedIndex {
 
   size_t num_leaves() const { return leaves_.size(); }
 
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override {
+    return {{"num_leaves", static_cast<double>(num_leaves())}};
+  }
+
   template <typename V>
   void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
 

@@ -1,5 +1,7 @@
 #include "baselines/kd_tree.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -163,5 +165,17 @@ size_t KdTreeIndex::IndexSizeBytes() const {
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(KdTreeIndex);
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "kdtree", {},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      KdTreeIndex::Options o;
+      o.page_size = static_cast<size_t>(
+          opts.GetInt("page_size", static_cast<int64_t>(o.page_size)));
+      return std::unique_ptr<MultiDimIndex>(new KdTreeIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

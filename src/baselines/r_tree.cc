@@ -1,5 +1,7 @@
 #include "baselines/r_tree.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -195,5 +197,22 @@ size_t RTreeIndex::IndexSizeBytes() const {
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(RTreeIndex);
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "rtree", {"rstartree"},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      RTreeIndex::Options o;
+      // page_size doubles as leaf_capacity so one bag tunes every
+      // page-structured index.
+      o.leaf_capacity = static_cast<size_t>(opts.GetInt(
+          "leaf_capacity",
+          opts.GetInt("page_size", static_cast<int64_t>(o.leaf_capacity))));
+      o.fanout = static_cast<size_t>(
+          opts.GetInt("fanout", static_cast<int64_t>(o.fanout)));
+      return std::unique_ptr<MultiDimIndex>(new RTreeIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

@@ -35,6 +35,12 @@ class RTreeIndex final : public StorageBackedIndex {
   size_t num_leaves() const { return num_leaves_; }
   int height() const { return height_; }
 
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override {
+    return {{"num_leaves", static_cast<double>(num_leaves_)},
+            {"height", static_cast<double>(height_)}};
+  }
+
   template <typename V>
   void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;
 

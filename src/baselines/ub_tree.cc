@@ -1,5 +1,7 @@
 #include "baselines/ub_tree.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -105,5 +107,17 @@ void UbTreeIndex::ExecuteT(const Query& query, V& visitor,
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(UbTreeIndex);
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "ubtree", {},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      UbTreeIndex::Options o;
+      o.page_size = static_cast<size_t>(
+          opts.GetInt("page_size", static_cast<int64_t>(o.page_size)));
+      return std::unique_ptr<MultiDimIndex>(new UbTreeIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

@@ -4,7 +4,7 @@
 #include <memory>
 #include <vector>
 
-#include "baselines/zorder_curve.h"
+#include "core/zorder_curve.h"
 #include "query/multidim_index.h"
 
 namespace flood {
@@ -32,6 +32,11 @@ class UbTreeIndex final : public StorageBackedIndex {
 
   size_t IndexSizeBytes() const override {
     return z_.size() * sizeof(uint64_t) + sizeof(ZOrderMapper);
+  }
+
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override {
+    return {{"num_keys", static_cast<double>(z_.size())}};
   }
 
   template <typename V>

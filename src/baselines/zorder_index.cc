@@ -1,5 +1,7 @@
 #include "baselines/zorder_index.h"
 
+#include "api/index_registry.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -131,5 +133,22 @@ size_t ZOrderIndex::IndexSizeBytes() const {
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(ZOrderIndex);
+
+std::vector<std::pair<std::string, double>> ZOrderIndex::DebugProperties()
+    const {
+  return {{"num_pages", static_cast<double>(page_min_z_.size())}};
+}
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "zorder", {},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      ZOrderIndex::Options o;
+      o.page_size = static_cast<size_t>(
+          opts.GetInt("page_size", static_cast<int64_t>(o.page_size)));
+      return std::unique_ptr<MultiDimIndex>(new ZOrderIndex(o));
+    });
+}  // namespace
 
 }  // namespace flood

@@ -4,7 +4,7 @@
 #include <memory>
 #include <vector>
 
-#include "baselines/zorder_curve.h"
+#include "core/zorder_curve.h"
 #include "query/multidim_index.h"
 
 namespace flood {
@@ -31,6 +31,9 @@ class ZOrderIndex final : public StorageBackedIndex {
                QueryStats* stats) const override;
 
   size_t IndexSizeBytes() const override;
+
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override;
 
   template <typename V>
   void ExecuteT(const Query& query, V& visitor, QueryStats* stats) const;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "api/index_registry.h"
 #include "common/timer.h"
+#include "core/layout_optimizer.h"
 #include "learned/search_util.h"
 #include "query/scan_util.h"
 
@@ -16,7 +18,20 @@ Status FloodIndex::Build(const Table& table, const BuildContext& ctx) {
 
   layout_ = options_.layout;
   if (layout_.dim_order.empty()) {
-    layout_ = GridLayout::Default(d, std::max<uint64_t>(1, n / 1024));
+    if (options_.learn_layout && ctx.workload != nullptr &&
+        !ctx.workload->empty()) {
+      const CostModel cost_model = CostModel::Default();
+      LayoutOptimizer::Options opt;
+      opt.max_cells = options_.max_cells;
+      const LayoutOptimizer optimizer(&cost_model, opt);
+      layout_ = optimizer.Optimize(table, *ctx.workload).layout;
+    } else {
+      const uint64_t target =
+          options_.default_target_cells > 0
+              ? options_.default_target_cells
+              : std::max<uint64_t>(1, n / 1024);
+      layout_ = GridLayout::Default(d, target);
+    }
   }
   if (!layout_.IsValid(d)) {
     return Status::InvalidArgument("invalid layout: " + layout_.ToString());
@@ -306,5 +321,52 @@ size_t FloodIndex::IndexSizeBytes() const {
 }
 
 FLOOD_DEFINE_EXECUTE_DISPATCH(FloodIndex);
+
+std::vector<std::pair<std::string, double>> FloodIndex::DebugProperties()
+    const {
+  return {{"num_cells", static_cast<double>(num_cells_)},
+          {"num_grid_dims", static_cast<double>(layout_.NumGridDims())},
+          {"num_cell_models", static_cast<double>(cell_models_.num_models())}};
+}
+
+std::string FloodIndex::Describe() const {
+  return "Flood[" + layout_.ToString() + "]";
+}
+
+namespace {
+const IndexRegistrar kRegistrar(
+    "flood", {},
+    [](const IndexOptions& opts)
+        -> StatusOr<std::unique_ptr<MultiDimIndex>> {
+      FloodIndex::Options o;
+      if (opts.Has("layout")) {
+        StatusOr<GridLayout> layout = GridLayout::Parse(*opts.Get("layout"));
+        if (!layout.ok()) return layout.status();
+        o.layout = std::move(*layout);
+      }
+      o.default_target_cells = static_cast<uint64_t>(opts.GetInt(
+          "target_cells", static_cast<int64_t>(o.default_target_cells)));
+      o.learn_layout = opts.GetBool("learn_layout", o.learn_layout);
+      const std::string mode = opts.GetString("flatten_mode", "cdf");
+      if (mode == "linear") {
+        o.flatten_mode = Flattener::Mode::kLinear;
+      } else if (mode != "cdf") {
+        return Status::InvalidArgument("unknown flatten_mode: " + mode);
+      }
+      o.use_cell_models = opts.GetBool("use_cell_models", o.use_cell_models);
+      o.plm_delta = opts.GetDouble("plm_delta", o.plm_delta);
+      o.plm_min_cell_size = static_cast<size_t>(opts.GetInt(
+          "plm_min_cell_size", static_cast<int64_t>(o.plm_min_cell_size)));
+      o.max_cells = static_cast<uint64_t>(
+          opts.GetInt("max_cells", static_cast<int64_t>(o.max_cells)));
+      o.seed = static_cast<uint64_t>(
+          opts.GetInt("seed", static_cast<int64_t>(o.seed)));
+      o.enable_run_merging =
+          opts.GetBool("enable_run_merging", o.enable_run_merging);
+      o.enable_exact_ranges =
+          opts.GetBool("enable_exact_ranges", o.enable_exact_ranges);
+      return std::unique_ptr<MultiDimIndex>(new FloodIndex(std::move(o)));
+    });
+}  // namespace
 
 }  // namespace flood

@@ -28,9 +28,16 @@ namespace flood {
 class FloodIndex final : public StorageBackedIndex {
  public:
   struct Options {
-    /// Layout to build. Empty (default) uses GridLayout::Default with
-    /// ~n/1024 cells.
+    /// Layout to build. When empty, Build learns one from the
+    /// BuildContext's training workload (see learn_layout), falling back
+    /// to GridLayout::Default.
     GridLayout layout;
+    /// Target cell count of the GridLayout::Default fallback; 0 = n/1024.
+    uint64_t default_target_cells = 0;
+    /// With an empty layout and a non-empty ctx.workload, learn the layout
+    /// via LayoutOptimizer (CostModel::Default()) instead of the uniform
+    /// default. This is how Database::Open trains Flood.
+    bool learn_layout = true;
     /// kCdf = flattened (paper default); kLinear = fixed-width ablation.
     Flattener::Mode flatten_mode = Flattener::Mode::kCdf;
     size_t flatten_sample_size = 50'000;
@@ -61,6 +68,10 @@ class FloodIndex final : public StorageBackedIndex {
                QueryStats* stats) const override;
 
   size_t IndexSizeBytes() const override;
+
+  std::vector<std::pair<std::string, double>> DebugProperties()
+      const override;
+  std::string Describe() const override;
 
   const GridLayout& layout() const { return layout_; }
   uint64_t num_cells() const { return num_cells_; }

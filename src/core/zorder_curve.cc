@@ -1,4 +1,4 @@
-#include "baselines/zorder_curve.h"
+#include "core/zorder_curve.h"
 
 #include <algorithm>
 

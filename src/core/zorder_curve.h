@@ -1,5 +1,5 @@
-#ifndef FLOOD_BASELINES_ZORDER_CURVE_H_
-#define FLOOD_BASELINES_ZORDER_CURVE_H_
+#ifndef FLOOD_CORE_ZORDER_CURVE_H_
+#define FLOOD_CORE_ZORDER_CURVE_H_
 
 #include <cstdint>
 #include <optional>
@@ -132,4 +132,4 @@ class ZOrderMapper {
 
 }  // namespace flood
 
-#endif  // FLOOD_BASELINES_ZORDER_CURVE_H_
+#endif  // FLOOD_CORE_ZORDER_CURVE_H_

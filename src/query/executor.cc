@@ -7,6 +7,9 @@ namespace flood {
 AggResult ExecuteAggregate(const MultiDimIndex& index, const Query& query,
                            QueryStats* stats) {
   AggResult result;
+  // A query with an inverted range matches nothing: answer without
+  // dispatching into the index at all.
+  if (query.IsEmpty()) return result;
   if (query.agg().kind == AggSpec::Kind::kSum) {
     // Stats track the match count; fall back to a local block when the
     // caller doesn't need them (stats accumulate, hence the delta).

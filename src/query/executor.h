@@ -16,8 +16,13 @@ struct AggResult {
 };
 
 /// Runs `query` against `index` with the visitor its AggSpec requires,
-/// wiring up prefix sums when the index maintains them. This is the
-/// front door used by examples and benchmarks.
+/// wiring up prefix sums when the index maintains them. Empty queries
+/// (some range inverted) return a zero result without touching the index.
+///
+/// Compatibility shim: new code should go through flood::Database
+/// (api/database.h), which owns the index, adds batching, and returns
+/// typed results; this function remains for callers that manage a bare
+/// MultiDimIndex themselves.
 AggResult ExecuteAggregate(const MultiDimIndex& index, const Query& query,
                            QueryStats* stats = nullptr);
 

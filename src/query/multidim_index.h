@@ -1,7 +1,9 @@
 #ifndef FLOOD_QUERY_MULTIDIM_INDEX_H_
 #define FLOOD_QUERY_MULTIDIM_INDEX_H_
 
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -58,6 +60,17 @@ class MultiDimIndex {
     (void)dim;
     return nullptr;
   }
+
+  /// Named structural counters (leaf counts, tree height, grid cells, ...)
+  /// for telemetry and structure tests, keyed by stable snake_case names.
+  virtual std::vector<std::pair<std::string, double>> DebugProperties()
+      const {
+    return {};
+  }
+
+  /// One-line human description of the physical layout (e.g. Flood's
+  /// learned grid). Defaults to the index name.
+  virtual std::string Describe() const { return std::string(name()); }
 };
 
 /// Convenience base for indexes that own a reordered copy of the table.

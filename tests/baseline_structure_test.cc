@@ -1,12 +1,16 @@
+// Structural checks on the baseline indexes (leaf budgets, directory
+// behavior, metadata footprints), driven entirely through the
+// IndexRegistry and the generic DebugProperties() introspection — no
+// concrete baseline headers.
+
 #include <gtest/gtest.h>
 
-#include "baselines/clustered_index.h"
-#include "baselines/grid_file.h"
-#include "baselines/hyperoctree.h"
-#include "baselines/kd_tree.h"
-#include "baselines/r_tree.h"
-#include "baselines/ub_tree.h"
-#include "baselines/zorder_index.h"
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/index_registry.h"
+#include "query/visitor.h"
 #include "tests/test_util.h"
 
 namespace flood {
@@ -21,17 +25,33 @@ BuildContext Ctx(const Table& t) {
   return ctx;
 }
 
+std::unique_ptr<MultiDimIndex> Make(const std::string& name,
+                                    const IndexOptions& opts = {}) {
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      IndexRegistry::Global().Create(name, opts);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return index.ok() ? std::move(*index) : nullptr;
+}
+
+std::map<std::string, double> Props(const MultiDimIndex& index) {
+  std::map<std::string, double> props;
+  for (const auto& [key, value] : index.DebugProperties()) {
+    props[key] = value;
+  }
+  return props;
+}
+
 TEST(ClusteredStructureTest, DataSortedBySortDim) {
   const Table t = MakeTable(DataShape::kSkewed, 5000, 3, 1);
-  ClusteredColumnIndex::Options o;
-  o.sort_dim = 1;
-  ClusteredColumnIndex index(o);
+  std::unique_ptr<MultiDimIndex> index =
+      Make("clustered", IndexOptions().SetInt("sort_dim", 1));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(index.Build(t, ctx).ok());
-  EXPECT_EQ(index.sort_dim(), 1u);
+  ASSERT_TRUE(index->Build(t, ctx).ok());
+  EXPECT_EQ(Props(*index)["sort_dim"], 1.0);
+  EXPECT_EQ(index->Describe(), "Clustered[sort_dim=1]");
   Value prev = kValueMin;
   for (RowId r = 0; r < t.num_rows(); ++r) {
-    const Value v = index.data().Get(r, 1);
+    const Value v = index->data().Get(r, 1);
     EXPECT_GE(v, prev);
     prev = v;
   }
@@ -39,50 +59,45 @@ TEST(ClusteredStructureTest, DataSortedBySortDim) {
 
 TEST(KdTreeStructureTest, LeafSizesRespectPageBudget) {
   const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 2);
-  KdTreeIndex::Options o;
-  o.page_size = 256;
-  KdTreeIndex index(o);
+  std::unique_ptr<MultiDimIndex> index =
+      Make("kdtree", IndexOptions().SetInt("page_size", 256));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(index.Build(t, ctx).ok());
+  ASSERT_TRUE(index->Build(t, ctx).ok());
   // n/page lower bound; duplicates can force larger leaves on other shapes.
-  EXPECT_GE(index.num_leaves(), 20'000u / 256u);
+  EXPECT_GE(Props(*index)["num_leaves"], 20'000.0 / 256.0);
 }
 
 TEST(HyperoctreeStructureTest, LeafCountScalesWithPageSize) {
   const Table t = MakeTable(DataShape::kClustered, 20'000, 3, 3);
-  HyperoctreeIndex::Options small;
-  small.page_size = 128;
-  HyperoctreeIndex::Options large;
-  large.page_size = 4096;
-  HyperoctreeIndex a(small);
-  HyperoctreeIndex b(large);
+  std::unique_ptr<MultiDimIndex> a =
+      Make("octree", IndexOptions().SetInt("page_size", 128));
+  std::unique_ptr<MultiDimIndex> b =
+      Make("octree", IndexOptions().SetInt("page_size", 4096));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(a.Build(t, ctx).ok());
-  ASSERT_TRUE(b.Build(t, ctx).ok());
-  EXPECT_GT(a.num_leaves(), b.num_leaves());
-  EXPECT_GT(a.IndexSizeBytes(), b.IndexSizeBytes());
+  ASSERT_TRUE(a->Build(t, ctx).ok());
+  ASSERT_TRUE(b->Build(t, ctx).ok());
+  EXPECT_GT(Props(*a)["num_leaves"], Props(*b)["num_leaves"]);
+  EXPECT_GT(a->IndexSizeBytes(), b->IndexSizeBytes());
 }
 
 TEST(RTreeStructureTest, HeightAndLeaves) {
   const Table t = MakeTable(DataShape::kUniform, 30'000, 3, 4);
-  RTreeIndex::Options o;
-  o.leaf_capacity = 128;
-  o.fanout = 8;
-  RTreeIndex index(o);
+  std::unique_ptr<MultiDimIndex> index = Make(
+      "rtree",
+      IndexOptions().SetInt("leaf_capacity", 128).SetInt("fanout", 8));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(index.Build(t, ctx).ok());
-  EXPECT_GE(index.num_leaves(), 30'000u / 128u);
-  EXPECT_GE(index.height(), 3);  // ~235 leaves at fanout 8.
+  ASSERT_TRUE(index->Build(t, ctx).ok());
+  EXPECT_GE(Props(*index)["num_leaves"], 30'000.0 / 128.0);
+  EXPECT_GE(Props(*index)["height"], 3.0);  // ~235 leaves at fanout 8.
 }
 
 TEST(GridFileStructureTest, BucketsPartitionRows) {
   const Table t = MakeTable(DataShape::kUniform, 10'000, 3, 5);
-  GridFileIndex::Options o;
-  o.page_size = 512;
-  GridFileIndex index(o);
+  std::unique_ptr<MultiDimIndex> index =
+      Make("grid_file", IndexOptions().SetInt("page_size", 512));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(index.Build(t, ctx).ok());
-  EXPECT_GT(index.num_buckets(), 1u);
+  ASSERT_TRUE(index->Build(t, ctx).ok());
+  EXPECT_GT(Props(*index)["num_buckets"], 1.0);
 }
 
 TEST(GridFileStructureTest, BudgetTripsOnPathologicalSkew) {
@@ -100,12 +115,12 @@ TEST(GridFileStructureTest, BudgetTripsOnPathologicalSkew) {
   }
   StatusOr<Table> t = Table::FromColumns({spike, other});
   ASSERT_TRUE(t.ok());
-  GridFileIndex::Options o;
-  o.page_size = 64;
-  o.max_directory_entries = 1 << 12;
-  GridFileIndex index(o);
+  std::unique_ptr<MultiDimIndex> index =
+      Make("grid_file", IndexOptions()
+                            .SetInt("page_size", 64)
+                            .SetInt("max_directory_entries", 1 << 12));
   const BuildContext ctx = Ctx(*t);
-  const Status s = index.Build(*t, ctx);
+  const Status s = index->Build(*t, ctx);
   // Either it finishes within budget or fails cleanly — never hangs/crashes.
   if (!s.ok()) {
     EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
@@ -114,29 +129,27 @@ TEST(GridFileStructureTest, BudgetTripsOnPathologicalSkew) {
 
 TEST(ZOrderStructureTest, PageSizeControlsMetadataFootprint) {
   const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 7);
-  ZOrderIndex::Options small;
-  small.page_size = 128;
-  ZOrderIndex::Options large;
-  large.page_size = 2048;
-  ZOrderIndex a(small);
-  ZOrderIndex b(large);
+  std::unique_ptr<MultiDimIndex> a =
+      Make("zorder", IndexOptions().SetInt("page_size", 128));
+  std::unique_ptr<MultiDimIndex> b =
+      Make("zorder", IndexOptions().SetInt("page_size", 2048));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(a.Build(t, ctx).ok());
-  ASSERT_TRUE(b.Build(t, ctx).ok());
-  EXPECT_GT(a.IndexSizeBytes(), b.IndexSizeBytes());
+  ASSERT_TRUE(a->Build(t, ctx).ok());
+  ASSERT_TRUE(b->Build(t, ctx).ok());
+  EXPECT_GT(Props(*a)["num_pages"], Props(*b)["num_pages"]);
+  EXPECT_GT(a->IndexSizeBytes(), b->IndexSizeBytes());
 }
 
 TEST(UbTreeStructureTest, SkippingScansFewerPointsThanZOrderOnSparseBoxes) {
   // A query box tiny in both dims: the Z curve enters/exits repeatedly, so
   // BIGMIN skipping should visit far fewer points than the naive z-range.
   const Table t = MakeTable(DataShape::kUniform, 50'000, 2, 8);
-  UbTreeIndex ub;
-  ZOrderIndex::Options zo;
-  zo.page_size = 256;
-  ZOrderIndex z(zo);
+  std::unique_ptr<MultiDimIndex> ub = Make("ubtree");
+  std::unique_ptr<MultiDimIndex> z =
+      Make("zorder", IndexOptions().SetInt("page_size", 256));
   const BuildContext ctx = Ctx(t);
-  ASSERT_TRUE(ub.Build(t, ctx).ok());
-  ASSERT_TRUE(z.Build(t, ctx).ok());
+  ASSERT_TRUE(ub->Build(t, ctx).ok());
+  ASSERT_TRUE(z->Build(t, ctx).ok());
   Query q = QueryBuilder(2)
                 .Range(0, 500'000, 520'000)
                 .Range(1, 500'000, 520'000)
@@ -145,8 +158,8 @@ TEST(UbTreeStructureTest, SkippingScansFewerPointsThanZOrderOnSparseBoxes) {
   QueryStats z_stats;
   CountVisitor v1;
   CountVisitor v2;
-  ub.Execute(q, v1, &ub_stats);
-  z.Execute(q, v2, &z_stats);
+  ub->Execute(q, v1, &ub_stats);
+  z->Execute(q, v2, &z_stats);
   EXPECT_EQ(v1.count(), v2.count());
   EXPECT_LT(ub_stats.points_scanned, z_stats.points_scanned + 1);
 }
@@ -154,13 +167,13 @@ TEST(UbTreeStructureTest, SkippingScansFewerPointsThanZOrderOnSparseBoxes) {
 TEST(BaselineSizeTest, IndexSizesArePositiveAndOrdered) {
   const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 9);
   const BuildContext ctx = Ctx(t);
-  UbTreeIndex ub;
-  ASSERT_TRUE(ub.Build(t, ctx).ok());
+  std::unique_ptr<MultiDimIndex> ub = Make("ubtree");
+  ASSERT_TRUE(ub->Build(t, ctx).ok());
   // UB-tree stores per-point keys: by far the largest.
-  ZOrderIndex z;
-  ASSERT_TRUE(z.Build(t, ctx).ok());
-  EXPECT_GT(ub.IndexSizeBytes(), z.IndexSizeBytes());
-  EXPECT_GT(z.IndexSizeBytes(), 0u);
+  std::unique_ptr<MultiDimIndex> z = Make("zorder");
+  ASSERT_TRUE(z->Build(t, ctx).ok());
+  EXPECT_GT(ub->IndexSizeBytes(), z->IndexSizeBytes());
+  EXPECT_GT(z->IndexSizeBytes(), 0u);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
-#include "baselines/full_scan.h"
+#include <memory>
+
+#include "api/index_registry.h"
 #include "core/flood_index.h"
 #include "query/executor.h"
 #include "tests/test_util.h"
@@ -8,15 +10,22 @@
 namespace flood {
 namespace {
 
+std::unique_ptr<MultiDimIndex> MakeFullScan() {
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      IndexRegistry::Global().Create("full_scan");
+  EXPECT_TRUE(index.ok());
+  return std::move(*index);
+}
+
 TEST(ExecutorTest, CountQuery) {
   const Table t = testing::MakeTable(testing::DataShape::kUniform, 1000, 2,
                                      3);
-  FullScanIndex index;
+  std::unique_ptr<MultiDimIndex> index = MakeFullScan();
   BuildContext ctx;
   ctx.sample = DataSample::FromTable(t, 100, 1);
-  ASSERT_TRUE(index.Build(t, ctx).ok());
+  ASSERT_TRUE(index->Build(t, ctx).ok());
   Query q = QueryBuilder(2).Range(0, 0, 500'000).Count().Build();
-  const AggResult r = ExecuteAggregate(index, q, nullptr);
+  const AggResult r = ExecuteAggregate(*index, q, nullptr);
   EXPECT_EQ(r.count, testing::BruteForce(t, q, 0).count);
 }
 
@@ -52,17 +61,36 @@ TEST(ExecutorTest, SumQueryWithAndWithoutPrefixSums) {
 TEST(ExecutorTest, StatsTotalsAccumulate) {
   const Table t = testing::MakeTable(testing::DataShape::kUniform, 2000, 2,
                                      5);
-  FullScanIndex index;
+  std::unique_ptr<MultiDimIndex> index = MakeFullScan();
   BuildContext ctx;
   ctx.sample = DataSample::FromTable(t, 100, 1);
-  ASSERT_TRUE(index.Build(t, ctx).ok());
+  ASSERT_TRUE(index->Build(t, ctx).ok());
   QueryStats stats;
   Query q = QueryBuilder(2).Range(0, 0, 100'000).Build();
-  (void)ExecuteAggregate(index, q, &stats);
-  (void)ExecuteAggregate(index, q, &stats);
+  (void)ExecuteAggregate(*index, q, &stats);
+  (void)ExecuteAggregate(*index, q, &stats);
   EXPECT_EQ(stats.points_scanned, 4000u);  // Accumulated across queries.
   EXPECT_GT(stats.total_ns, 0);
   EXPECT_GE(stats.ScanOverhead(), 1.0);
+}
+
+// The shim short-circuits empty queries without dispatching: no counters
+// move, even on a full scan.
+TEST(ExecutorTest, EmptyQueryShortCircuits) {
+  const Table t = testing::MakeTable(testing::DataShape::kUniform, 2000, 2,
+                                     6);
+  std::unique_ptr<MultiDimIndex> index = MakeFullScan();
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(t, 100, 1);
+  ASSERT_TRUE(index->Build(t, ctx).ok());
+  Query q(2);
+  q.SetRange(0, 100, 50);  // Inverted: empty.
+  QueryStats stats;
+  const AggResult r = ExecuteAggregate(*index, q, &stats);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(stats.points_scanned, 0u);
+  EXPECT_EQ(stats.cells_visited, 0u);
+  EXPECT_EQ(stats.total_ns, 0);
 }
 
 }  // namespace

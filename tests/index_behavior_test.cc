@@ -4,8 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/ub_tree.h"
-#include "baselines/zorder_index.h"
+#include "api/index_registry.h"
 #include "core/flood_index.h"
 #include "core/layout_optimizer.h"
 #include "query/executor.h"
@@ -23,6 +22,14 @@ BuildContext Ctx(const Table& t, uint64_t seed = 5) {
   BuildContext ctx;
   ctx.sample = DataSample::FromTable(t, 1000, seed);
   return ctx;
+}
+
+std::unique_ptr<MultiDimIndex> MakeRegistered(const std::string& name,
+                                              const IndexOptions& opts = {}) {
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      IndexRegistry::Global().Create(name, opts);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return index.ok() ? std::move(*index) : nullptr;
 }
 
 // Regression: duplicate Z-codes spanning page boundaries used to make the
@@ -45,27 +52,26 @@ TEST(ZOrderRegressionTest, DuplicateCodesAcrossPages) {
   }
   StatusOr<Table> t = Table::FromColumns({a, b});
   ASSERT_TRUE(t.ok());
-  ZOrderIndex::Options o;
-  o.page_size = 64;
-  ZOrderIndex index(o);
+  std::unique_ptr<MultiDimIndex> index =
+      MakeRegistered("zorder", IndexOptions().SetInt("page_size", 64));
   const BuildContext ctx = Ctx(*t);
-  ASSERT_TRUE(index.Build(*t, ctx).ok());
+  ASSERT_TRUE(index->Build(*t, ctx).ok());
   Query q = QueryBuilder(2).Equals(0, 500).Equals(1, 600).Build();
-  EXPECT_EQ(ExecuteAggregate(index, q, nullptr).count,
+  EXPECT_EQ(ExecuteAggregate(*index, q, nullptr).count,
             BruteForce(*t, q, 0).count);
 }
 
 TEST(ZOrderVsUbTreeTest, IdenticalResultsAcrossManyQueries) {
   const Table t = MakeTable(DataShape::kClustered, 8000, 3, 18);
   const BuildContext ctx = Ctx(t);
-  ZOrderIndex z;
-  UbTreeIndex ub;
-  ASSERT_TRUE(z.Build(t, ctx).ok());
-  ASSERT_TRUE(ub.Build(t, ctx).ok());
+  std::unique_ptr<MultiDimIndex> z = MakeRegistered("zorder");
+  std::unique_ptr<MultiDimIndex> ub = MakeRegistered("ubtree");
+  ASSERT_TRUE(z->Build(t, ctx).ok());
+  ASSERT_TRUE(ub->Build(t, ctx).ok());
   for (uint64_t seed = 0; seed < 40; ++seed) {
     const Query q = RandomQuery(t, 8000 + seed);
-    EXPECT_EQ(ExecuteAggregate(z, q, nullptr).count,
-              ExecuteAggregate(ub, q, nullptr).count)
+    EXPECT_EQ(ExecuteAggregate(*z, q, nullptr).count,
+              ExecuteAggregate(*ub, q, nullptr).count)
         << q.ToString();
   }
 }

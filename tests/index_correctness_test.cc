@@ -3,14 +3,7 @@
 #include <memory>
 #include <string>
 
-#include "baselines/clustered_index.h"
-#include "baselines/full_scan.h"
-#include "baselines/grid_file.h"
-#include "baselines/hyperoctree.h"
-#include "baselines/kd_tree.h"
-#include "baselines/r_tree.h"
-#include "baselines/ub_tree.h"
-#include "baselines/zorder_index.h"
+#include "api/index_registry.h"
 #include "core/flood_index.h"
 #include "query/executor.h"
 #include "tests/test_util.h"
@@ -70,56 +63,56 @@ const char* IndexKindName(IndexKind k) {
   return "?";
 }
 
+/// Everything except the simple-grid ablation (whose layout surgery the
+/// options map can't express) is built through the IndexRegistry, so this
+/// suite also exercises the factories' option plumbing.
 std::unique_ptr<MultiDimIndex> MakeIndex(IndexKind kind, size_t num_dims) {
+  std::string name;
+  IndexOptions opts;
+  // The Flood variants pin the uniform 64-cell default layout the oracle
+  // comparisons were written against.
+  opts.SetInt("target_cells", 64).SetBool("learn_layout", false);
   switch (kind) {
     case IndexKind::kFullScan:
-      return std::make_unique<FullScanIndex>();
+      name = "full_scan";
+      break;
     case IndexKind::kClustered:
-      return std::make_unique<ClusteredColumnIndex>();
-    case IndexKind::kGridFile: {
-      GridFileIndex::Options o;
-      o.page_size = 256;
-      return std::make_unique<GridFileIndex>(o);
-    }
-    case IndexKind::kZOrder: {
-      ZOrderIndex::Options o;
-      o.page_size = 128;
-      return std::make_unique<ZOrderIndex>(o);
-    }
+      name = "clustered";
+      break;
+    case IndexKind::kGridFile:
+      name = "grid_file";
+      opts.SetInt("page_size", 256);
+      break;
+    case IndexKind::kZOrder:
+      name = "zorder";
+      opts.SetInt("page_size", 128);
+      break;
     case IndexKind::kUbTree:
-      return std::make_unique<UbTreeIndex>();
-    case IndexKind::kHyperoctree: {
-      HyperoctreeIndex::Options o;
-      o.page_size = 128;
-      return std::make_unique<HyperoctreeIndex>(o);
-    }
-    case IndexKind::kKdTree: {
-      KdTreeIndex::Options o;
-      o.page_size = 128;
-      return std::make_unique<KdTreeIndex>(o);
-    }
-    case IndexKind::kRTree: {
-      RTreeIndex::Options o;
-      o.leaf_capacity = 128;
-      return std::make_unique<RTreeIndex>(o);
-    }
-    case IndexKind::kFloodFlattened: {
-      FloodIndex::Options o;
-      o.layout = GridLayout::Default(num_dims, 64);
-      return std::make_unique<FloodIndex>(o);
-    }
-    case IndexKind::kFloodLinear: {
-      FloodIndex::Options o;
-      o.layout = GridLayout::Default(num_dims, 64);
-      o.flatten_mode = Flattener::Mode::kLinear;
-      return std::make_unique<FloodIndex>(o);
-    }
-    case IndexKind::kFloodNoModels: {
-      FloodIndex::Options o;
-      o.layout = GridLayout::Default(num_dims, 64);
-      o.use_cell_models = false;
-      return std::make_unique<FloodIndex>(o);
-    }
+      name = "ubtree";
+      break;
+    case IndexKind::kHyperoctree:
+      name = "octree";
+      opts.SetInt("page_size", 128);
+      break;
+    case IndexKind::kKdTree:
+      name = "kdtree";
+      opts.SetInt("page_size", 128);
+      break;
+    case IndexKind::kRTree:
+      name = "rtree";
+      opts.SetInt("leaf_capacity", 128);
+      break;
+    case IndexKind::kFloodFlattened:
+      name = "flood";
+      break;
+    case IndexKind::kFloodLinear:
+      name = "flood";
+      opts.Set("flatten_mode", "linear");
+      break;
+    case IndexKind::kFloodNoModels:
+      name = "flood";
+      opts.SetBool("use_cell_models", false);
+      break;
     case IndexKind::kFloodSimpleGrid: {
       FloodIndex::Options o;
       o.layout = GridLayout::Default(num_dims, 64);
@@ -128,7 +121,10 @@ std::unique_ptr<MultiDimIndex> MakeIndex(IndexKind kind, size_t num_dims) {
       return std::make_unique<FloodIndex>(o);
     }
   }
-  return nullptr;
+  StatusOr<std::unique_ptr<MultiDimIndex>> index =
+      IndexRegistry::Global().Create(name, opts);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return index.ok() ? std::move(*index) : nullptr;
 }
 
 class IndexCorrectnessTest

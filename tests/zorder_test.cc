@@ -3,7 +3,7 @@
 #include <optional>
 #include <vector>
 
-#include "baselines/zorder_curve.h"
+#include "core/zorder_curve.h"
 #include "common/rng.h"
 
 namespace flood {
