@@ -5,11 +5,13 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/database.h"
 #include "api/index_registry.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/layout_optimizer.h"
 #include "data/datasets.h"
@@ -43,6 +45,17 @@ inline size_t NumQueries(size_t fallback = 100) {
   return v > 0 ? static_cast<size_t>(v) : fallback;
 }
 
+/// Max worker threads for the throughput benches. FLOOD_BENCH_THREADS
+/// overrides; the default is one per hardware thread.
+inline size_t BenchThreads() {
+  const char* env = std::getenv("FLOOD_BENCH_THREADS");
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return ThreadPool::DefaultConcurrency();
+}
+
 /// Base row counts (paper rows in parentheses): sales 30M, tpch 300M,
 /// osm 105M, perfmon 230M — scaled to the same 1 : 10 : 3.5 : 7.7 shape.
 inline size_t BaseRows(const std::string& name) {
@@ -53,10 +66,14 @@ inline size_t BaseRows(const std::string& name) {
   return 200'000;
 }
 
-/// Cached dataset registry (one instance per process).
+/// Cached dataset registry (one instance per process). Thread-safe: the
+/// cache mutates under a mutex, and std::map never invalidates element
+/// references, so returned references stay valid for the process lifetime.
 inline const BenchDataset& GetDataset(const std::string& name) {
+  static std::mutex* mu = new std::mutex();
   static std::map<std::string, BenchDataset>* cache =
       new std::map<std::string, BenchDataset>();
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = cache->find(name);
   if (it != cache->end()) return it->second;
   const size_t n = ScaledRows(BaseRows(name));

@@ -1,0 +1,117 @@
+// Parallel-execution scaling: aggregate QPS of Database::RunBatch as the
+// worker-thread count grows, across index types and datasets. This is the
+// measurement behind the threading PR — speedup is reported, not asserted.
+//
+// Shape to check: near-linear QPS scaling to the physical core count for
+// every index (queries are embarrassingly parallel; the batch is sharded
+// contiguously, so the only shared state is the read-only index).
+//
+// Env knobs: FLOOD_BENCH_THREADS caps the sweep (default: hardware
+// threads); FLOOD_BENCH_DATASETS="sales,tpch" or "all" widens the dataset
+// axis (default: sales, the acceptance dataset); FLOOD_BENCH_QUERIES sets
+// the batch size.
+
+#include <sstream>
+
+#include "bench/bench_main.h"
+
+namespace flood {
+namespace bench {
+namespace {
+
+std::vector<size_t> ThreadSweep() {
+  const size_t max_threads = BenchThreads();
+  std::vector<size_t> sweep;
+  for (size_t t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+  return sweep;
+}
+
+std::vector<std::string> DatasetSweep() {
+  const char* env = std::getenv("FLOOD_BENCH_DATASETS");
+  if (env == nullptr) return {"sales"};
+  const std::string spec(env);
+  if (spec == "all") return AllDatasetNames();
+  std::vector<std::string> names;
+  std::stringstream ss(spec);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  return names.empty() ? std::vector<std::string>{"sales"} : names;
+}
+
+std::vector<BenchRow> Run() {
+  std::vector<BenchRow> rows;
+  const std::vector<size_t> threads = ThreadSweep();
+  const std::vector<std::string> index_set = {"flood", "kdtree", "zorder",
+                                              "full_scan"};
+
+  std::vector<std::string> header{"dataset", "index"};
+  for (size_t t : threads) header.push_back("t=" + std::to_string(t));
+  header.push_back("speedup@max");
+  header.push_back("p95@max (ms)");
+  std::vector<std::vector<std::string>> out;
+
+  for (const std::string& ds_name : DatasetSweep()) {
+    const BenchDataset& ds = GetDataset(ds_name);
+    const size_t nq = NumQueries(400);
+    const auto [train, test] =
+        MakeWorkload(ds, WorkloadKind::kOlapSkewed, nq * 2, 211).Split(0.5,
+                                                                       212);
+    for (const std::string& index_name : index_set) {
+      std::vector<std::string> row{ds_name, index_name};
+      double serial_qps = 0;
+      // Summary columns stay N/A unless the max-thread run itself
+      // succeeded AND a serial baseline exists to divide by.
+      std::string speedup_cell = "N/A";
+      std::string p95_cell = "N/A";
+      for (size_t t : threads) {
+        DatabaseOptions options;
+        options.index_name = index_name;
+        options.training_workload = train;
+        options.num_threads = t;
+        StatusOr<Database> db = Database::Open(ds.table, std::move(options));
+        if (!db.ok()) {
+          row.push_back("N/A");
+          continue;
+        }
+        // Warm-up pass, then the measured batch.
+        (void)db->RunBatch(test);
+        const BatchResult batch = db->RunBatch(test);
+        FLOOD_CHECK(batch.status.ok());
+        const double qps = batch.Qps();
+        if (t == 1) serial_qps = qps;
+        const double speedup = serial_qps > 0 ? qps / serial_qps : 0;
+        const double p95 = batch.P95LatencyMs();
+        if (t == threads.back()) {
+          if (serial_qps > 0) speedup_cell = Format(speedup, 2) + "x";
+          p95_cell = FormatMs(p95);
+        }
+        row.push_back(Format(qps, 0));
+        rows.push_back(
+            {"Throughput/" + ds_name + "/" + index_name + "/t" +
+                 std::to_string(t),
+             batch.wall_ms,
+             {{"qps", qps},
+              {"threads", static_cast<double>(t)},
+              {"speedup_vs_serial", speedup},
+              {"p50_ms", batch.P50LatencyMs()},
+              {"p95_ms", p95},
+              {"p99_ms", batch.P99LatencyMs()},
+              {"avg_executed_ms", batch.AvgExecutedLatencyMs()}}});
+      }
+      row.push_back(speedup_cell);
+      row.push_back(p95_cell);
+      out.push_back(row);
+    }
+  }
+  PrintTable("Batch throughput (QPS) vs worker threads", header, out);
+  return rows;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flood
+
+FLOOD_BENCH_MAIN(flood::bench::Run)

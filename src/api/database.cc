@@ -1,12 +1,29 @@
 #include "api/database.h"
 
+#include <string>
 #include <utility>
 
 #include "api/index_registry.h"
+#include "common/timer.h"
 #include "query/executor.h"
 #include "query/visitor.h"
 
 namespace flood {
+
+double BatchResult::LatencyPercentileMs(double p) const {
+  std::vector<int64_t> latencies;
+  latencies.reserve(results.size());
+  for (const QueryResult& r : results) {
+    if (!r.skipped_empty) latencies.push_back(r.stats.total_ns);
+  }
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(latencies.size())));
+  const size_t idx = rank > 0 ? rank - 1 : 0;
+  return static_cast<double>(latencies[idx]) / 1e6;
+}
 
 StatusOr<Database> Database::Open(const Table& table,
                                   DatabaseOptions options) {
@@ -24,6 +41,12 @@ StatusOr<Database> Database::Open(const Table& table,
                  : nullptr);
   if (!index.ok()) return index.status();
   db.index_ = std::move(*index);
+  db.num_threads_ = db.options_.num_threads == 0
+                        ? ThreadPool::DefaultConcurrency()
+                        : db.options_.num_threads;
+  if (db.num_threads_ > 1) {
+    db.pool_ = std::make_unique<ThreadPool>(db.num_threads_);
+  }
   return db;
 }
 
@@ -40,58 +63,153 @@ StatusOr<std::unique_ptr<MultiDimIndex>> Database::BuildIndex(
   return index;
 }
 
-QueryResult Database::Run(const Query& query) {
+Status Database::ValidateArity(const Query& query) const {
   // Arity mismatches would read past the column array deep in the scan
-  // loops; fail loudly at the API boundary instead.
-  FLOOD_CHECK(query.num_dims() == num_dims());
+  // loops; catch them at the API boundary instead.
+  if (query.num_dims() != num_dims()) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.num_dims()) +
+        " dims, table has " + std::to_string(num_dims()));
+  }
+  return Status::OK();
+}
+
+QueryResult Database::ExecuteQuery(const Query& query) const {
   QueryResult result;
   result.kind = query.agg().kind == AggSpec::Kind::kSum
                     ? QueryResult::Kind::kSum
                     : QueryResult::Kind::kCount;
-  ++queries_run_;
   if (query.IsEmpty()) {
-    ++empty_queries_skipped_;
+    result.skipped_empty = true;
     return result;
   }
   const AggResult agg = ExecuteAggregate(*index_, query, &result.stats);
   result.count = agg.count;
   result.sum = agg.sum;
-  cumulative_stats_.Add(result.stats);
   return result;
 }
 
-QueryResult Database::Collect(const Query& query) {
-  FLOOD_CHECK(query.num_dims() == num_dims());
+void Database::RecordTelemetry(const QueryResult& result) {
+  std::lock_guard<std::mutex> lock(telemetry_->mu);
+  ++telemetry_->queries_run;
+  if (result.skipped_empty) {
+    ++telemetry_->empty_skipped;
+    return;
+  }
+  telemetry_->stats.RecordQuery(result.stats);
+}
+
+StatusOr<QueryResult> Database::TryRun(const Query& query) {
+  FLOOD_RETURN_IF_ERROR(ValidateArity(query));
+  QueryResult result = ExecuteQuery(query);
+  RecordTelemetry(result);
+  return result;
+}
+
+StatusOr<QueryResult> Database::TryCollect(const Query& query) {
+  FLOOD_RETURN_IF_ERROR(ValidateArity(query));
   QueryResult result;
   result.kind = QueryResult::Kind::kRows;
-  ++queries_run_;
   if (query.IsEmpty()) {
-    ++empty_queries_skipped_;
-    return result;
+    result.skipped_empty = true;
+  } else {
+    CollectVisitor visitor;
+    index_->Execute(query, visitor, &result.stats);
+    result.rows = std::move(visitor.mutable_rows());
+    result.count = result.rows.size();
   }
-  CollectVisitor visitor;
-  index_->Execute(query, visitor, &result.stats);
-  result.rows = std::move(visitor.mutable_rows());
-  result.count = result.rows.size();
-  cumulative_stats_.Add(result.stats);
+  RecordTelemetry(result);
   return result;
+}
+
+QueryResult Database::Run(const Query& query) {
+  StatusOr<QueryResult> result = TryRun(query);
+  FLOOD_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+QueryResult Database::Collect(const Query& query) {
+  StatusOr<QueryResult> result = TryCollect(query);
+  FLOOD_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+void Database::RunShard(std::span<const Query> queries, size_t begin,
+                        size_t end, QueryResult* results,
+                        ShardAccum* acc) const {
+  for (size_t i = begin; i < end; ++i) {
+    results[i] = ExecuteQuery(queries[i]);
+    if (results[i].skipped_empty) {
+      ++acc->empty_skipped;
+    } else {
+      acc->stats.RecordQuery(results[i].stats);
+    }
+  }
 }
 
 BatchResult Database::RunBatch(std::span<const Query> queries) {
   BatchResult batch;
-  batch.results.reserve(queries.size());
-  const uint64_t skipped_before = empty_queries_skipped_;
-  for (const Query& query : queries) {
-    batch.results.push_back(Run(query));
-    batch.stats.Add(batch.results.back().stats);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Status arity = ValidateArity(queries[i]);
+    if (!arity.ok()) {
+      batch.status = Status::InvalidArgument(
+          "batch query " + std::to_string(i) + ": " + arity.message());
+      return batch;
+    }
   }
-  batch.empty_skipped =
-      static_cast<size_t>(empty_queries_skipped_ - skipped_before);
+
+  const Stopwatch wall;
+  const size_t n = queries.size();
+  batch.results.resize(n);
+  const size_t shards =
+      pool_ != nullptr ? std::min(pool_->num_threads(), n) : 1;
+  std::vector<ShardAccum> accums(std::max<size_t>(1, shards));
+  if (shards <= 1) {
+    RunShard(queries, 0, n, batch.results.data(), &accums[0]);
+  } else {
+    // Contiguous shards keep results[i] aligned with queries[i] for free
+    // and let each worker stream through its slice of the results array.
+    QueryResult* const results = batch.results.data();
+    ParallelFor(*pool_, n, shards,
+                [this, queries, results, &accums](size_t s, size_t begin,
+                                                  size_t end) {
+                  RunShard(queries, begin, end, results, &accums[s]);
+                });
+  }
+  // Deterministic merge: always in shard order, whatever order the workers
+  // actually finished in.
+  for (const ShardAccum& acc : accums) {
+    batch.stats.Merge(acc.stats);
+    batch.empty_skipped += acc.empty_skipped;
+  }
+  batch.wall_ms = wall.ElapsedMillis();
+
+  {
+    std::lock_guard<std::mutex> lock(telemetry_->mu);
+    telemetry_->stats.Merge(batch.stats);
+    telemetry_->queries_run += n;
+    telemetry_->empty_skipped += batch.empty_skipped;
+  }
   return batch;
 }
 
 BatchResult Database::RunBatch(const Workload& workload) {
   return RunBatch(std::span<const Query>(workload.queries()));
+}
+
+QueryStats Database::cumulative_stats() const {
+  std::lock_guard<std::mutex> lock(telemetry_->mu);
+  return telemetry_->stats;
+}
+
+uint64_t Database::queries_run() const {
+  std::lock_guard<std::mutex> lock(telemetry_->mu);
+  return telemetry_->queries_run;
+}
+
+uint64_t Database::empty_queries_skipped() const {
+  std::lock_guard<std::mutex> lock(telemetry_->mu);
+  return telemetry_->empty_skipped;
 }
 
 Status Database::Retrain(const Workload& workload) {

@@ -1,8 +1,11 @@
 #ifndef FLOOD_API_DATABASE_H_
 #define FLOOD_API_DATABASE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -11,6 +14,7 @@
 
 #include "api/index_options.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "query/multidim_index.h"
 #include "query/query.h"
 #include "query/query_stats.h"
@@ -29,23 +33,64 @@ struct QueryResult {
   std::vector<RowId> rows;     ///< Populated when kind == kRows (storage
                                ///< order of the index; set semantics).
   QueryStats stats;            ///< Per-query counters and timings.
+  bool skipped_empty = false;  ///< Short-circuited by Query::IsEmpty —
+                               ///< zero result, index never touched.
 };
 
 /// Result of a batched execution: per-query results plus the aggregate
-/// statistics the benches report (avg latency, scan overhead, ...).
+/// statistics the benches report (latency distribution, QPS, scan
+/// overhead, ...). `results[i]` always corresponds to `queries[i]`,
+/// regardless of how many threads executed the batch.
 struct BatchResult {
   std::vector<QueryResult> results;
-  QueryStats stats;         ///< Accumulated over the batch.
+  QueryStats stats;         ///< Merged over executed (non-empty) queries.
   size_t empty_skipped = 0; ///< Queries short-circuited by Query::IsEmpty.
+  double wall_ms = 0.0;     ///< End-to-end batch wall time (QPS basis).
+  /// Batch-level validation outcome. A query whose arity doesn't match the
+  /// table fails the whole batch *before any worker starts*: `status` is
+  /// the error and `results` stays empty.
+  Status status = Status::OK();
 
+  size_t attempted() const { return results.size(); }
+  size_t executed() const { return results.size() - empty_skipped; }
+
+  /// Mean latency per *attempted* query: summed per-query execution time
+  /// over every query in the batch, including empty-skipped ones (which
+  /// cost ~nothing). With num_threads > 1 the numerator is CPU time
+  /// across workers, so this does NOT equal wall_ms / size() — compare
+  /// wall-clock throughput via Qps() instead.
   double AvgLatencyMs() const {
     if (results.empty()) return 0.0;
     return static_cast<double>(stats.total_ns) /
            static_cast<double>(results.size()) / 1e6;
   }
+
+  /// Mean latency per *executed* query: same numerator over only the
+  /// queries that reached the index. >= AvgLatencyMs whenever the batch
+  /// contained empty queries; use this one to compare index performance.
+  double AvgExecutedLatencyMs() const {
+    if (executed() == 0) return 0.0;
+    return static_cast<double>(stats.total_ns) /
+           static_cast<double>(executed()) / 1e6;
+  }
+
+  /// Nearest-rank latency percentile (p in (0, 100]) over executed
+  /// queries' end-to-end times. Empty-skipped queries are excluded.
+  double LatencyPercentileMs(double p) const;
+
+  double P50LatencyMs() const { return LatencyPercentileMs(50.0); }
+  double P95LatencyMs() const { return LatencyPercentileMs(95.0); }
+  double P99LatencyMs() const { return LatencyPercentileMs(99.0); }
+
+  /// Aggregate throughput: attempted queries per second of batch wall time
+  /// (so it reflects parallel speedup, unlike the per-query latencies).
+  double Qps() const {
+    if (wall_ms <= 0.0) return 0.0;
+    return static_cast<double>(results.size()) / (wall_ms / 1e3);
+  }
 };
 
-/// How Database::Open builds its index.
+/// How Database::Open builds its index and executes batches.
 struct DatabaseOptions {
   /// Registry key ("flood", "kdtree", "rtree", "grid_file", "zorder",
   /// "octree", "ubtree", "clustered", "full_scan", or an alias).
@@ -60,6 +105,12 @@ struct DatabaseOptions {
   /// Row-sample size used for selectivity estimates at build time.
   size_t sample_size = 20'000;
   uint64_t sample_seed = 7;
+  /// Worker threads for RunBatch: 1 (default) executes serially on the
+  /// calling thread — bit-for-bit the pre-threading path; 0 sizes the pool
+  /// to hardware_concurrency; N > 1 uses a fixed pool of N workers.
+  /// Results and merged stats are identical at every setting (only the
+  /// timing fields vary run to run).
+  size_t num_threads = 1;
 };
 
 /// The front door of the library: owns a table and one index over it, and
@@ -73,6 +124,12 @@ struct DatabaseOptions {
 ///
 /// Adding an index or enumerating all of them goes through IndexRegistry;
 /// nothing above this layer names a concrete index type.
+///
+/// Thread safety: a Database may serve reads from many threads — the index
+/// is immutable after Open and MultiDimIndex::Execute is const and
+/// re-entrant — and RunBatch itself fans a batch out over the configured
+/// pool. Telemetry folds are mutex-guarded (once per Run / once per batch,
+/// never per worker-query). Retrain is NOT safe concurrently with queries.
 class Database {
  public:
   /// Builds the chosen index over `table`; the index keeps its own
@@ -89,22 +146,34 @@ class Database {
 
   /// Executes one aggregation query (COUNT or SUM per `query.agg()`).
   /// Empty-range queries short-circuit to a zero result without touching
-  /// the index.
-  QueryResult Run(const Query& query);
+  /// the index. Returns InvalidArgument when the query's dimensionality
+  /// doesn't match the table.
+  StatusOr<QueryResult> TryRun(const Query& query);
 
   /// Executes `query` and returns the matching row ids (kind == kRows).
   /// Row ids refer to the index's storage order, i.e. rows of data().
+  /// Returns InvalidArgument on a dimensionality mismatch.
+  StatusOr<QueryResult> TryCollect(const Query& query);
+
+  /// Convenience wrappers for callers that construct queries with the
+  /// table's arity by design: as TryRun/TryCollect but a dimensionality
+  /// mismatch aborts via FLOOD_CHECK instead of returning an error.
+  QueryResult Run(const Query& query);
   QueryResult Collect(const Query& query);
 
-  /// Runs the batch back-to-back and returns per-query results plus
-  /// aggregate stats; the seam future PRs widen into parallel execution.
+  /// Runs the batch and returns per-query results plus aggregate stats;
+  /// with num_threads != 1 the span is sharded contiguously across the
+  /// pool and per-worker stats are folded in shard order at batch end.
+  /// `results[i]` always matches `queries[i]`. Arity mismatches fail the
+  /// whole batch (BatchResult::status) before any worker starts.
   BatchResult RunBatch(std::span<const Query> queries);
   BatchResult RunBatch(const Workload& workload);
 
   /// Rebuilds the index with a new training workload (layout drift,
   /// changed aggregation dims), re-clustering from the current storage
   /// copy — no second copy of the table is kept. Keeps the index type and
-  /// options; on failure the old index is left in place.
+  /// options; on failure the old index is left in place. Not safe
+  /// concurrently with in-flight queries.
   Status Retrain(const Workload& workload);
 
   // --- Introspection ------------------------------------------------------
@@ -121,6 +190,10 @@ class Database {
   }
   size_t IndexSizeBytes() const { return index_->IndexSizeBytes(); }
 
+  /// Resolved RunBatch parallelism (DatabaseOptions::num_threads with
+  /// 0 already expanded to the hardware thread count).
+  size_t num_threads() const { return num_threads_; }
+
   /// The table in the index's storage order.
   const Table& data() const { return index_->data(); }
   size_t num_rows() const { return index_->data().num_rows(); }
@@ -131,27 +204,64 @@ class Database {
 
   // --- Telemetry ----------------------------------------------------------
 
-  /// Counters and timings accumulated over every query since Open.
-  const QueryStats& cumulative_stats() const { return cumulative_stats_; }
-  uint64_t queries_run() const { return queries_run_; }
-  uint64_t empty_queries_skipped() const { return empty_queries_skipped_; }
+  /// Counters and timings accumulated over every executed query since
+  /// Open. Returned by value: the accumulator is folded under a mutex, so
+  /// a snapshot is the only race-free view while batches are in flight.
+  QueryStats cumulative_stats() const;
+  uint64_t queries_run() const;
+  uint64_t empty_queries_skipped() const;
 
  private:
+  /// Mutex-guarded telemetry accumulators, heap-held so Database stays
+  /// movable. Folded once per Run/Collect and once per RunBatch — never
+  /// per query inside a worker.
+  struct Telemetry {
+    mutable std::mutex mu;
+    QueryStats stats;
+    uint64_t queries_run = 0;
+    uint64_t empty_skipped = 0;
+  };
+
+  /// Per-worker batch accumulator; folded into the BatchResult and the
+  /// telemetry in shard order after the last worker finishes. Cache-line
+  /// aligned so neighboring workers' per-query counter writes don't
+  /// false-share.
+  struct alignas(64) ShardAccum {
+    QueryStats stats;
+    uint64_t empty_skipped = 0;
+  };
+
   Database(DatabaseOptions options, std::string index_name)
-      : options_(std::move(options)), index_name_(std::move(index_name)) {}
+      : options_(std::move(options)),
+        index_name_(std::move(index_name)),
+        telemetry_(new Telemetry()) {}
 
   /// Builds an index of the configured type over `table` with `workload`
   /// as the training context.
   StatusOr<std::unique_ptr<MultiDimIndex>> BuildIndex(
       const Table& table, const Workload* workload) const;
 
+  Status ValidateArity(const Query& query) const;
+
+  /// Executes one aggregation query with no telemetry side effects;
+  /// const and re-entrant (the unit of work RunBatch parallelizes).
+  QueryResult ExecuteQuery(const Query& query) const;
+
+  /// Runs queries[begin, end) into results[begin, end), accumulating into
+  /// `acc`. Each worker owns one disjoint shard and one accumulator, so
+  /// the hot path is synchronization-free.
+  void RunShard(std::span<const Query> queries, size_t begin, size_t end,
+                QueryResult* results, ShardAccum* acc) const;
+
+  void RecordTelemetry(const QueryResult& result);
+
   DatabaseOptions options_;
   std::unique_ptr<MultiDimIndex> index_;
   std::string index_name_;
 
-  QueryStats cumulative_stats_;
-  uint64_t queries_run_ = 0;
-  uint64_t empty_queries_skipped_ = 0;
+  size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when num_threads_ == 1.
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace flood

@@ -44,6 +44,14 @@ class MultiDimIndex {
 
   /// Executes `query`, feeding matches into `visitor`. `stats` (optional)
   /// receives per-query counters and phase timings.
+  ///
+  /// Threading contract: Execute must be const AND re-entrant. One built
+  /// index serves concurrent callers (Database::RunBatch shards batches
+  /// across a thread pool), so implementations must not mutate shared
+  /// state after Build — no lazily-built caches or scratch members without
+  /// synchronization; per-query scratch belongs on the stack. `visitor`
+  /// and `stats` are caller-owned and never shared across concurrent
+  /// Execute calls, so writing through them needs no synchronization.
   virtual void Execute(const Query& query, Visitor& visitor,
                        QueryStats* stats) const = 0;
 

@@ -22,6 +22,12 @@ struct QueryStats {
   int64_t scan_ns = 0;    ///< Scan + filter time.
   int64_t total_ns = 0;   ///< End-to-end query time.
 
+  // --- Accumulator bookkeeping (zero on single-query stats) ---------------
+  uint64_t queries = 0;       ///< Queries folded in via RecordQuery.
+  int64_t max_query_ns = 0;   ///< Slowest single query folded in.
+
+  /// Raw element-wise counter/timing sum; no per-query bookkeeping. Used
+  /// by indexes accumulating phases into one per-query stats object.
   void Add(const QueryStats& o) {
     points_scanned += o.points_scanned;
     points_matched += o.points_matched;
@@ -32,6 +38,24 @@ struct QueryStats {
     refine_ns += o.refine_ns;
     scan_ns += o.scan_ns;
     total_ns += o.total_ns;
+  }
+
+  /// Folds one executed query's stats into this accumulator, recording its
+  /// end-to-end latency against the extremes.
+  void RecordQuery(const QueryStats& q) {
+    Add(q);
+    ++queries;
+    if (q.total_ns > max_query_ns) max_query_ns = q.total_ns;
+  }
+
+  /// Folds another accumulator (e.g. a per-worker batch buffer) into this
+  /// one. Every field is a sum or a max, so merging a fixed set of buffers
+  /// in any order yields identical results — Database::RunBatch still
+  /// merges in shard order for determinism by construction.
+  void Merge(const QueryStats& o) {
+    Add(o);
+    queries += o.queries;
+    if (o.max_query_ns > max_query_ns) max_query_ns = o.max_query_ns;
   }
 
   /// Scan overhead: points scanned per matching point (Table 2 "SO").

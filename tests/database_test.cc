@@ -280,6 +280,160 @@ TEST(DatabaseTest, IntrospectionForwardsToIndex) {
   EXPECT_EQ(db->Describe(), "RStarTree");
 }
 
+// Tentpole: RunBatch with num_threads=4 must be indistinguishable from the
+// serial path — identical per-query counts/sums, identical Collect row ids,
+// and identical merged counter stats — on every registered index.
+TEST(DatabaseTest, ParallelRunBatchMatchesSerialOnEveryIndex) {
+  const Table t = MakeTable(DataShape::kClustered, 3000, 3, 31);
+  const Workload train = SumWorkload(t, 10, 600);
+
+  std::vector<Query> queries;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Query q = RandomQuery(t, 7000 + seed);
+    if (seed % 3 == 0) q.set_agg({AggSpec::Kind::kSum, 1});
+    queries.push_back(q);
+  }
+  Query empty(3);
+  empty.SetRange(2, 9, 4);  // Inverted.
+  queries.push_back(empty);
+
+  for (const std::string& name : IndexRegistry::Global().Names()) {
+    DatabaseOptions serial_options;
+    serial_options.index_name = name;
+    serial_options.training_workload = train;
+    serial_options.num_threads = 1;
+    StatusOr<Database> serial = Database::Open(t, std::move(serial_options));
+    ASSERT_TRUE(serial.ok()) << name << ": " << serial.status().ToString();
+    EXPECT_EQ(serial->num_threads(), 1u);
+
+    DatabaseOptions parallel_options;
+    parallel_options.index_name = name;
+    parallel_options.training_workload = train;
+    parallel_options.num_threads = 4;
+    StatusOr<Database> parallel =
+        Database::Open(t, std::move(parallel_options));
+    ASSERT_TRUE(parallel.ok()) << name;
+    EXPECT_EQ(parallel->num_threads(), 4u);
+
+    const BatchResult s = serial->RunBatch(queries);
+    const BatchResult p = parallel->RunBatch(queries);
+    ASSERT_TRUE(s.status.ok());
+    ASSERT_TRUE(p.status.ok());
+    ASSERT_EQ(s.results.size(), queries.size()) << name;
+    ASSERT_EQ(p.results.size(), queries.size()) << name;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(p.results[i].count, s.results[i].count) << name << " #" << i;
+      EXPECT_EQ(p.results[i].sum, s.results[i].sum) << name << " #" << i;
+      EXPECT_EQ(p.results[i].kind, s.results[i].kind) << name << " #" << i;
+      EXPECT_EQ(p.results[i].skipped_empty, s.results[i].skipped_empty);
+    }
+    // Merged counter stats are identical (timings legitimately differ).
+    EXPECT_EQ(p.stats.points_scanned, s.stats.points_scanned) << name;
+    EXPECT_EQ(p.stats.points_matched, s.stats.points_matched) << name;
+    EXPECT_EQ(p.stats.points_exact, s.stats.points_exact) << name;
+    EXPECT_EQ(p.stats.cells_visited, s.stats.cells_visited) << name;
+    EXPECT_EQ(p.stats.ranges_scanned, s.stats.ranges_scanned) << name;
+    EXPECT_EQ(p.stats.queries, s.stats.queries) << name;
+    EXPECT_EQ(p.empty_skipped, s.empty_skipped) << name;
+    EXPECT_EQ(p.empty_skipped, 1u) << name;
+    EXPECT_EQ(parallel->queries_run(), serial->queries_run()) << name;
+    EXPECT_EQ(parallel->empty_queries_skipped(), 1u) << name;
+    EXPECT_EQ(parallel->cumulative_stats().points_scanned,
+              serial->cumulative_stats().points_scanned)
+        << name;
+
+    // Row-id retrieval agrees between the two databases too.
+    const Query probe = RandomQuery(t, 909);
+    EXPECT_EQ(parallel->Collect(probe).rows, serial->Collect(probe).rows)
+        << name;
+  }
+}
+
+// Satellite: arity mismatches no longer have to abort the process — TryRun
+// returns a clean error, and a bad query fails the whole batch before any
+// worker starts.
+TEST(DatabaseTest, ArityMismatchIsACleanError) {
+  const Table t = MakeTable(DataShape::kUniform, 800, 3, 41);
+  DatabaseOptions options;
+  options.index_name = "kdtree";
+  options.num_threads = 4;
+  StatusOr<Database> db = Database::Open(t, std::move(options));
+  ASSERT_TRUE(db.ok());
+
+  const Query wrong_arity(5);  // Table has 3 dims.
+  StatusOr<QueryResult> run = db->TryRun(wrong_arity);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(db->TryCollect(wrong_arity).ok());
+  // The failed attempt leaves telemetry untouched.
+  EXPECT_EQ(db->queries_run(), 0u);
+
+  std::vector<Query> batch_queries;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    batch_queries.push_back(RandomQuery(t, 8000 + seed));
+  }
+  batch_queries.push_back(wrong_arity);
+  const BatchResult batch = db->RunBatch(batch_queries);
+  ASSERT_FALSE(batch.status.ok());
+  EXPECT_EQ(batch.status.code(), StatusCode::kInvalidArgument);
+  // Rejected before any worker started: nothing ran at all.
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(db->queries_run(), 0u);
+
+  // Valid queries still execute on the same database afterwards.
+  EXPECT_TRUE(db->TryRun(RandomQuery(t, 42)).ok());
+}
+
+// Satellite: AvgLatencyMs divides by attempted queries (incl. skipped);
+// AvgExecutedLatencyMs divides by executed only. Plus the new latency
+// distribution and throughput accessors.
+TEST(DatabaseTest, BatchLatencyAndThroughputAccounting) {
+  const Table t = MakeTable(DataShape::kUniform, 2000, 3, 51);
+  DatabaseOptions options;
+  options.index_name = "clustered";
+  options.num_threads = 2;
+  StatusOr<Database> db = Database::Open(t, std::move(options));
+  ASSERT_TRUE(db.ok());
+
+  std::vector<Query> queries;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    queries.push_back(RandomQuery(t, 9000 + seed));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Query empty(3);
+    empty.SetRange(0, 7, 3);  // Inverted.
+    queries.push_back(empty);
+  }
+  const BatchResult batch = db->RunBatch(queries);
+  ASSERT_TRUE(batch.status.ok());
+  EXPECT_EQ(batch.attempted(), 16u);
+  EXPECT_EQ(batch.empty_skipped, 4u);
+  EXPECT_EQ(batch.executed(), 12u);
+  EXPECT_EQ(batch.stats.queries, 12u);
+
+  // Same numerator, smaller denominator for the executed-only average.
+  EXPECT_GT(batch.AvgExecutedLatencyMs(), batch.AvgLatencyMs());
+  EXPECT_NEAR(batch.AvgExecutedLatencyMs() * 12, batch.AvgLatencyMs() * 16,
+              1e-9);
+
+  // Percentiles are ordered, bounded by the slowest query, and computed
+  // over executed queries only.
+  EXPECT_GT(batch.P50LatencyMs(), 0.0);
+  EXPECT_LE(batch.P50LatencyMs(), batch.P95LatencyMs());
+  EXPECT_LE(batch.P95LatencyMs(), batch.P99LatencyMs());
+  EXPECT_NEAR(batch.LatencyPercentileMs(100.0),
+              static_cast<double>(batch.stats.max_query_ns) / 1e6, 1e-9);
+
+  EXPECT_GT(batch.wall_ms, 0.0);
+  EXPECT_GT(batch.Qps(), 0.0);
+
+  // Empty batch: every accessor degrades to zero instead of dividing by 0.
+  const BatchResult none = db->RunBatch(std::span<const Query>{});
+  EXPECT_EQ(none.AvgLatencyMs(), 0.0);
+  EXPECT_EQ(none.AvgExecutedLatencyMs(), 0.0);
+  EXPECT_EQ(none.P99LatencyMs(), 0.0);
+}
+
 TEST(DatabaseTest, RetrainPreservesResults) {
   const Table t = MakeTable(DataShape::kClustered, 5000, 3, 19);
   DatabaseOptions options;

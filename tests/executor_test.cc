@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "api/index_registry.h"
+#include "common/thread_pool.h"
 #include "core/flood_index.h"
 #include "query/executor.h"
 #include "tests/test_util.h"
@@ -91,6 +93,41 @@ TEST(ExecutorTest, EmptyQueryShortCircuits) {
   EXPECT_EQ(stats.points_scanned, 0u);
   EXPECT_EQ(stats.cells_visited, 0u);
   EXPECT_EQ(stats.total_ns, 0);
+}
+
+// The MultiDimIndex threading contract: Execute is const and re-entrant,
+// so one built index answers concurrent queries correctly with no
+// synchronization. Runs Flood (learned layout + cell models, the most
+// stateful query path) under maximal thread overlap; TSan checks the rest.
+TEST(ExecutorTest, ConcurrentExecuteOnOneIndexIsReentrant) {
+  const Table t = testing::MakeTable(testing::DataShape::kClustered, 4000, 3,
+                                     7);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 128);
+  FloodIndex index(o);
+  BuildContext ctx;
+  ctx.sample = DataSample::FromTable(t, 500, 1);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+
+  std::vector<Query> queries;
+  std::vector<uint64_t> expected;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    queries.push_back(testing::RandomQuery(t, 1000 + seed));
+    expected.push_back(testing::BruteForce(t, queries.back(), 0).count);
+  }
+
+  ThreadPool pool(4);
+  std::vector<std::vector<uint64_t>> got(4);
+  ParallelFor(pool, 4, 4, [&](size_t shard, size_t, size_t) {
+    // Every worker runs the *same* queries against the shared index.
+    for (const Query& q : queries) {
+      QueryStats stats;
+      got[shard].push_back(ExecuteAggregate(index, q, &stats).count);
+    }
+  });
+  for (size_t shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(got[shard], expected) << "worker " << shard;
+  }
 }
 
 }  // namespace
