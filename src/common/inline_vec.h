@@ -1,0 +1,85 @@
+#ifndef FLOOD_COMMON_INLINE_VEC_H_
+#define FLOOD_COMMON_INLINE_VEC_H_
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "common/macros.h"
+
+namespace flood {
+
+/// A minimal small-buffer vector for per-query scratch on hot paths: the
+/// first kInline elements live on the stack, larger sizes spill to one
+/// geometrically-grown heap block. Restricted to trivially copyable
+/// element types so growth is a memcpy and destruction is trivial.
+///
+/// Used by the query execution paths to honor the threading contract
+/// (per-query scratch on the stack, no mutable index members) without
+/// paying a heap allocation per query segment.
+template <typename T, size_t kInline>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for trivially copyable scratch types");
+  static_assert(kInline > 0, "inline capacity must be non-zero");
+
+ public:
+  InlineVec() = default;
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator[](size_t i) {
+    FLOOD_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    FLOOD_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& back() {
+    FLOOD_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  // By value: Grow() frees the old heap block, so a reference argument
+  // aliasing an element of this vector would dangle.
+  void push_back(T v) {
+    if (size_ == cap_) Grow();
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  void Grow() {
+    const size_t new_cap = cap_ * 2;
+    std::unique_ptr<T[]> grown(new T[new_cap]);
+    std::memcpy(grown.get(), data_, size_ * sizeof(T));
+    heap_ = std::move(grown);
+    data_ = heap_.get();
+    cap_ = new_cap;
+  }
+
+  T inline_[kInline];
+  std::unique_ptr<T[]> heap_;
+  T* data_ = inline_;
+  size_t size_ = 0;
+  size_t cap_ = kInline;
+};
+
+}  // namespace flood
+
+#endif  // FLOOD_COMMON_INLINE_VEC_H_

@@ -1,9 +1,11 @@
 #include "core/flood_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "api/index_registry.h"
+#include "common/inline_vec.h"
 #include "common/timer.h"
 #include "core/layout_optimizer.h"
 #include "learned/search_util.h"
@@ -15,6 +17,12 @@ Status FloodIndex::Build(const Table& table, const BuildContext& ctx) {
   const size_t n = table.num_rows();
   const size_t d = table.num_dims();
   if (n == 0) return Status::InvalidArgument("empty table");
+  // The cell table (offsets_) and ScanTask bounds are 32-bit; reject
+  // tables whose row ids would silently wrap instead of truncating.
+  if (n > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "FloodIndex supports at most 2^32 - 1 rows (32-bit cell table)");
+  }
 
   layout_ = options_.layout;
   if (layout_.dim_order.empty()) {
@@ -35,6 +43,13 @@ Status FloodIndex::Build(const Table& table, const BuildContext& ctx) {
   }
   if (!layout_.IsValid(d)) {
     return Status::InvalidArgument("invalid layout: " + layout_.ToString());
+  }
+  // ExecuteT's per-query scratch (spans, odometer, check-dim sets) is
+  // fixed 64-entry stack storage; reject wider layouts up front instead
+  // of overflowing it in release builds.
+  if (layout_.NumGridDims() > 64) {
+    return Status::InvalidArgument(
+        "FloodIndex supports at most 64 grid dimensions");
   }
   num_cells_ = layout_.NumCells();
   if (num_cells_ > options_.max_cells) {
@@ -176,17 +191,36 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
   }
   if (stats != nullptr) stats->cells_visited += nc;
 
-  // Check-dim set table: one entry per distinct boundary combination seen.
-  std::vector<std::vector<size_t>> check_sets;
-  auto intern_check_set = [&check_sets](std::vector<size_t>&& dims) {
-    for (size_t i = 0; i < check_sets.size(); ++i) {
-      if (check_sets[i] == dims) return static_cast<uint16_t>(i);
+  // Per-query scratch, stack-backed (threading contract: no mutable
+  // members on the index; InlineVec spills to the heap only for unusually
+  // fragmented queries). Check-dim sets — one entry per distinct boundary
+  // combination seen — are interned as (offset, len) into a flat pool.
+  struct SetRef {
+    uint32_t off;
+    uint32_t len;
+  };
+  InlineVec<size_t, 64> set_pool;
+  InlineVec<SetRef, 16> set_index;
+  auto intern_check_set = [&set_pool, &set_index](const size_t* dims,
+                                                  size_t len) {
+    for (size_t s = 0; s < set_index.size(); ++s) {
+      const SetRef ref = set_index[s];
+      if (ref.len == len &&
+          std::equal(dims, dims + len, set_pool.data() + ref.off)) {
+        return static_cast<uint16_t>(s);
+      }
     }
-    check_sets.push_back(std::move(dims));
-    return static_cast<uint16_t>(check_sets.size() - 1);
+    const auto off = static_cast<uint32_t>(set_pool.size());
+    for (size_t i = 0; i < len; ++i) set_pool.push_back(dims[i]);
+    set_index.push_back({off, static_cast<uint32_t>(len)});
+    return static_cast<uint16_t>(set_index.size() - 1);
+  };
+  auto check_set = [&set_pool, &set_index](uint16_t id) {
+    const SetRef ref = set_index[id];
+    return std::span<const size_t>(set_pool.data() + ref.off, ref.len);
   };
 
-  std::vector<ScanTask> tasks;
+  InlineVec<ScanTask, 128> tasks;
   int64_t refine_ns = 0;
 
   // Odometer over the outer grid dimensions [0, k-1); the innermost
@@ -197,15 +231,15 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
   for (size_t i = 0; i < k; ++i) col[i] = spans[i].lo;
   const size_t inner = k > 0 ? k - 1 : 0;
 
-  std::vector<size_t> outer_check;
+  size_t outer_check[64];
   while (true) {
     uint64_t base = 0;
-    outer_check.clear();
+    size_t num_outer = 0;
     for (size_t i = 0; i + 1 < k; ++i) {
       base += static_cast<uint64_t>(col[i]) * strides_[i];
       if (spans[i].filtered &&
           (col[i] == spans[i].lo || col[i] == spans[i].hi)) {
-        outer_check.push_back(layout_.grid_dim(i));
+        outer_check[num_outer++] = layout_.grid_dim(i);
       }
     }
 
@@ -235,10 +269,12 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
     }
     for (size_t seg = 0; seg < num_segments; ++seg) {
       const Segment& sg = segments[seg];
-      std::vector<size_t> dims = outer_check;
-      if (sg.boundary) dims.push_back(layout_.grid_dim(inner));
-      std::sort(dims.begin(), dims.end());
-      const uint16_t set_id = intern_check_set(std::move(dims));
+      size_t seg_dims[64];
+      size_t seg_n = num_outer;
+      std::copy(outer_check, outer_check + num_outer, seg_dims);
+      if (sg.boundary) seg_dims[seg_n++] = layout_.grid_dim(inner);
+      std::sort(seg_dims, seg_dims + seg_n);
+      const uint16_t set_id = intern_check_set(seg_dims, seg_n);
 
       const uint64_t first_cell = base + sg.a;
       const uint64_t last_cell = base + sg.b;
@@ -301,9 +337,9 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
       options_.enable_exact_ranges ? std::vector<size_t>()
                                    : FilteredDims(query);
   for (const ScanTask& task : tasks) {
-    const std::vector<size_t>& dims = options_.enable_exact_ranges
-                                          ? check_sets[task.check_set]
-                                          : all_filtered;
+    const std::span<const size_t> dims =
+        options_.enable_exact_ranges ? check_set(task.check_set)
+                                     : std::span<const size_t>(all_filtered);
     ScanRange(data_, query, task.begin, task.end,
               /*exact=*/options_.enable_exact_ranges && dims.empty(), dims,
               visitor, stats);

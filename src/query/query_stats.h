@@ -15,6 +15,8 @@ struct QueryStats {
   uint64_t points_exact = 0;    ///< Rows inside exact (check-free) ranges.
   uint64_t cells_visited = 0;   ///< Grid cells / tree pages examined.
   uint64_t ranges_scanned = 0;  ///< Contiguous physical ranges scanned.
+  uint64_t blocks_skipped = 0;  ///< Blocks rejected whole by a zone map.
+  uint64_t blocks_exact = 0;    ///< Blocks zone-map-contained: no checks.
 
   // --- Timings (nanoseconds) ---------------------------------------------
   int64_t index_ns = 0;   ///< Projection / tree traversal time.
@@ -34,6 +36,8 @@ struct QueryStats {
     points_exact += o.points_exact;
     cells_visited += o.cells_visited;
     ranges_scanned += o.ranges_scanned;
+    blocks_skipped += o.blocks_skipped;
+    blocks_exact += o.blocks_exact;
     index_ns += o.index_ns;
     refine_ns += o.refine_ns;
     scan_ns += o.scan_ns;

@@ -1,6 +1,10 @@
 #ifndef FLOOD_QUERY_SCAN_UTIL_H_
 #define FLOOD_QUERY_SCAN_UTIL_H_
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "query/query.h"
@@ -18,34 +22,42 @@ struct PhysRange {
   bool exact = false;
 };
 
-/// Scans one range, checking each row of `check_dims` against the query
-/// (columnar, chunked evaluation: one predicate column at a time over a
-/// match bitmap). Non-listed dimensions are assumed satisfied by
-/// construction (e.g. the refined sort dimension).
-///
-/// Counters: adds end-begin to points_scanned, matches to points_matched,
-/// and one to ranges_scanned.
-template <typename V>
-void ScanRange(const Table& data, const Query& query, size_t begin,
-               size_t end, bool exact, const std::vector<size_t>& check_dims,
-               V& visitor, QueryStats* stats) {
-  if (begin >= end) return;
-  const size_t n = end - begin;
-  if (stats != nullptr) {
-    stats->points_scanned += n;
-    ++stats->ranges_scanned;
-  }
-  if (exact || check_dims.empty()) {
-    visitor.VisitExactRange(begin, end);
-    if (stats != nullptr) {
-      stats->points_matched += n;
-      stats->points_exact += n;
-    }
-    return;
-  }
+/// Which scan kernel ScanRange dispatches to. kBlock (default) is the
+/// block-decoded vectorized kernel with zone-map pruning; kNaive is the
+/// original per-row path, kept for A/B benchmarking (bench_scan_kernel)
+/// and as the equivalence-test reference.
+enum class ScanKernel { kBlock, kNaive };
 
-  // Chunked columnar filtering: evaluate one dimension at a time into a
-  // bitmap, AND-combining across dimensions.
+namespace internal {
+/// -1 = not yet resolved from the environment.
+inline std::atomic<int> g_scan_kernel{-1};
+}  // namespace internal
+
+/// The active kernel: FLOOD_SCAN_KERNEL=naive|block (read once), default
+/// kBlock. Benign race on first use: resolution is idempotent.
+inline ScanKernel ActiveScanKernel() {
+  int mode = internal::g_scan_kernel.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("FLOOD_SCAN_KERNEL");
+    mode = (env != nullptr && std::strcmp(env, "naive") == 0) ? 1 : 0;
+    internal::g_scan_kernel.store(mode, std::memory_order_relaxed);
+  }
+  return mode == 1 ? ScanKernel::kNaive : ScanKernel::kBlock;
+}
+
+/// Overrides the kernel choice (benchmarks / tests).
+inline void SetScanKernel(ScanKernel kernel) {
+  internal::g_scan_kernel.store(kernel == ScanKernel::kNaive ? 1 : 0,
+                                std::memory_order_relaxed);
+}
+
+/// The original row-at-a-time scan: evaluate one predicate column at a
+/// time over a match bitmap, paying a per-value lambda call, div/mod, and
+/// bit extraction. Reference implementation for the block kernel.
+template <typename V>
+void ScanRangeNaive(const Table& data, const Query& query, size_t begin,
+                    size_t end, std::span<const size_t> check_dims,
+                    V& visitor, QueryStats* stats) {
   constexpr size_t kChunk = 2048;
   uint64_t bitmap[kChunk / 64];
   size_t matched = 0;
@@ -62,7 +74,6 @@ void ScanRange(const Table& data, const Query& query, size_t begin,
     for (size_t dim : check_dims) {
       const ValueRange& r = query.range(dim);
       const Column& col = data.column(dim);
-      // Skip words that are already all-zero.
       col.ForEach(chunk_begin, chunk_end,
                   [&](size_t i, Value v) {
                     if (!r.Contains(v)) {
@@ -86,11 +97,152 @@ void ScanRange(const Table& data, const Query& query, size_t begin,
   if (stats != nullptr) stats->points_matched += matched;
 }
 
+/// Block-at-a-time scan kernel (the §7.1-style fast path). Per
+/// Column::kBlockSize block it first consults the per-block zone maps of
+/// every check dimension:
+///  * some dimension's query range is disjoint with the block range ->
+///    the whole block is rejected without decoding (blocks_skipped);
+///  * every dimension's block range is contained in its query range ->
+///    the block matches entirely, delivered as an exact range so
+///    cumulative aggregates apply (blocks_exact);
+///  * otherwise the surviving dimensions are bulk-decoded once
+///    (width-specialized branch-free unpacking) and the range predicate
+///    is evaluated branchlessly into a match bitmap, delivered word-wise
+///    through V::VisitMatchWord.
+template <typename V>
+void ScanRangeBlock(const Table& data, const Query& query, size_t begin,
+                    size_t end, std::span<const size_t> check_dims,
+                    V& visitor, QueryStats* stats) {
+  constexpr size_t kBlock = Column::kBlockSize;
+  static_assert(kBlock % 64 == 0);
+  constexpr size_t kWords = kBlock / 64;
+  Value buf[kBlock];
+  uint64_t bitmap[kWords];
+  // Dimensions a zone map could neither reject nor fully accept.
+  constexpr size_t kMaxDims = 64;
+  size_t pending[kMaxDims];
+  FLOOD_DCHECK(check_dims.size() <= kMaxDims);
+
+  size_t matched = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t blocks_exact = 0;
+  const size_t first_block = begin / kBlock;
+  const size_t last_block = (end - 1) / kBlock;
+  for (size_t b = first_block; b <= last_block; ++b) {
+    const size_t block_begin = b * kBlock;
+    const size_t lo = std::max(begin, block_begin);
+    const size_t hi = std::min(end, block_begin + kBlock);
+    const size_t n = hi - lo;
+
+    // Zone-map pass. Zone maps cover the full block, so they are a (safe)
+    // superset of [lo, hi) when the scan range clips the block.
+    size_t num_pending = 0;
+    bool rejected = false;
+    for (size_t dim : check_dims) {
+      const ValueRange& r = query.range(dim);
+      const Column& col = data.column(dim);
+      const Value bmin = col.BlockMin(b);
+      const Value bmax = col.BlockMax(b);
+      if (r.hi < bmin || r.lo > bmax) {
+        rejected = true;
+        break;
+      }
+      if (r.lo > bmin || bmax > r.hi) pending[num_pending++] = dim;
+    }
+    if (rejected) {
+      ++blocks_skipped;
+      continue;
+    }
+    if (num_pending == 0) {
+      ++blocks_exact;
+      matched += n;
+      visitor.VisitExactRange(static_cast<RowId>(lo),
+                              static_cast<RowId>(hi));
+      continue;
+    }
+
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w) bitmap[w] = ~uint64_t{0};
+    if (n % 64 != 0) {
+      bitmap[words - 1] = (uint64_t{1} << (n % 64)) - 1;
+    }
+    for (size_t p = 0; p < num_pending; ++p) {
+      const size_t dim = pending[p];
+      const ValueRange& r = query.range(dim);
+      data.column(dim).DecodeBlockInto(b, buf);
+      const Value* vals = buf + (lo - block_begin);
+      uint64_t any = 0;
+      for (size_t w = 0; w < words; ++w) {
+        const size_t base = w * 64;
+        const size_t cnt = std::min<size_t>(64, n - base);
+        uint64_t m = 0;
+        for (size_t i = 0; i < cnt; ++i) {
+          const Value v = vals[base + i];
+          m |= static_cast<uint64_t>((v >= r.lo) & (v <= r.hi)) << i;
+        }
+        bitmap[w] &= m;
+        any |= bitmap[w];
+      }
+      if (any == 0) break;  // Nothing left for later dimensions to narrow.
+    }
+
+    for (size_t w = 0; w < words; ++w) {
+      if (bitmap[w] == 0) continue;
+      matched += static_cast<size_t>(__builtin_popcountll(bitmap[w]));
+      visitor.VisitMatchWord(static_cast<RowId>(lo + w * 64), bitmap[w]);
+    }
+  }
+  if (stats != nullptr) {
+    stats->points_matched += matched;
+    stats->blocks_skipped += blocks_skipped;
+    stats->blocks_exact += blocks_exact;
+  }
+}
+
+/// Scans one range, checking each row of `check_dims` against the query.
+/// Non-listed dimensions are assumed satisfied by construction (e.g. the
+/// refined sort dimension). Dispatches to the block kernel (default) or
+/// the naive row-at-a-time path per ActiveScanKernel().
+///
+/// Counters: adds end-begin to points_scanned, matches to points_matched,
+/// and one to ranges_scanned; the block kernel also tallies
+/// blocks_skipped / blocks_exact from its zone-map outcomes.
+template <typename V>
+void ScanRange(const Table& data, const Query& query, size_t begin,
+               size_t end, bool exact, std::span<const size_t> check_dims,
+               V& visitor, QueryStats* stats) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (stats != nullptr) {
+    stats->points_scanned += n;
+    ++stats->ranges_scanned;
+  }
+  if (exact || check_dims.empty()) {
+    visitor.VisitExactRange(begin, end);
+    if (stats != nullptr) {
+      stats->points_matched += n;
+      stats->points_exact += n;
+    }
+    return;
+  }
+  // The block kernel's pending-dimension scratch holds 64 entries; wider
+  // predicates (not produced by any index here) take the naive path, as
+  // do tiny ranges, which would not amortize a 128-value block decode
+  // (tree/grid baselines emit many few-row boundary cells).
+  constexpr size_t kMinBlockKernelRows = 32;
+  if (ActiveScanKernel() == ScanKernel::kNaive || check_dims.size() > 64 ||
+      n < kMinBlockKernelRows) {
+    ScanRangeNaive(data, query, begin, end, check_dims, visitor, stats);
+  } else {
+    ScanRangeBlock(data, query, begin, end, check_dims, visitor, stats);
+  }
+}
+
 /// Convenience wrapper over a list of ranges with a shared check-dim set.
 template <typename V>
 void ScanRanges(const Table& data, const Query& query,
                 const std::vector<PhysRange>& ranges,
-                const std::vector<size_t>& check_dims, V& visitor,
+                std::span<const size_t> check_dims, V& visitor,
                 QueryStats* stats) {
   for (const PhysRange& r : ranges) {
     ScanRange(data, query, r.begin, r.end, r.exact, check_dims, visitor,
@@ -102,6 +254,7 @@ void ScanRanges(const Table& data, const Query& query,
 /// baseline indexes, which guarantee nothing per-range).
 inline std::vector<size_t> FilteredDims(const Query& query) {
   std::vector<size_t> dims;
+  dims.reserve(query.num_dims());
   for (size_t d = 0; d < query.num_dims(); ++d) {
     if (query.IsFiltered(d)) dims.push_back(d);
   }

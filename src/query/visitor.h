@@ -15,6 +15,14 @@ namespace flood {
 /// (the "exact range" optimization of §7.1, which skips per-value filter
 /// checks and can use precomputed cumulative aggregates).
 ///
+/// The block scan kernel (query/scan_util.h) additionally delivers matches
+/// one 64-row bitmap word at a time through VisitMatchWord(base, word):
+/// bit b set means row base + b matched. Words arrive in ascending row
+/// order, zero words are never delivered, and bits past the scanned range
+/// are always clear — so aggregating visitors may use popcount / cumulative
+/// aggregates per word instead of per-row dispatch. The default
+/// implementation falls back to VisitRow per set bit.
+///
 /// Index scan loops are templated over the concrete visitor type so the
 /// per-row call devirtualizes; the abstract interface exists for the
 /// type-erased public API.
@@ -26,6 +34,14 @@ class Visitor {
   virtual Kind kind() const = 0;
   virtual void VisitRow(RowId row) = 0;
   virtual void VisitExactRange(RowId begin, RowId end) = 0;
+
+  virtual void VisitMatchWord(RowId base, uint64_t word) {
+    while (word != 0) {
+      const int b = __builtin_ctzll(word);
+      word &= word - 1;
+      VisitRow(base + static_cast<RowId>(b));
+    }
+  }
 };
 
 /// COUNT(*) accumulator.
@@ -35,6 +51,9 @@ class CountVisitor final : public Visitor {
   void VisitRow(RowId) override { ++count_; }
   void VisitExactRange(RowId begin, RowId end) override {
     count_ += end - begin;
+  }
+  void VisitMatchWord(RowId, uint64_t word) override {
+    count_ += static_cast<uint64_t>(__builtin_popcountll(word));
   }
 
   uint64_t count() const { return count_; }
@@ -55,25 +74,43 @@ class SumVisitor final : public Visitor {
   void set_prefix_sums(const PrefixSums* sums) { prefix_sums_ = sums; }
 
   void VisitRow(RowId row) override {
-    sum_ += column_->Get(static_cast<size_t>(row));
+    Add(column_->Get(static_cast<size_t>(row)));
   }
 
   void VisitExactRange(RowId begin, RowId end) override {
     if (prefix_sums_ != nullptr && !prefix_sums_->empty()) {
-      sum_ += prefix_sums_->RangeSum(static_cast<size_t>(begin),
-                                     static_cast<size_t>(end));
+      Add(prefix_sums_->RangeSum(static_cast<size_t>(begin),
+                                 static_cast<size_t>(end)));
       return;
     }
     column_->ForEach(static_cast<size_t>(begin), static_cast<size_t>(end),
-                     [this](size_t, Value v) { sum_ += v; });
+                     [this](size_t, Value v) { Add(v); });
   }
 
-  int64_t sum() const { return sum_; }
+  void VisitMatchWord(RowId base, uint64_t word) override {
+    if (word == ~uint64_t{0}) {
+      // Full word: answer from the cumulative aggregate when available.
+      VisitExactRange(base, base + 64);
+      return;
+    }
+    while (word != 0) {
+      const int b = __builtin_ctzll(word);
+      word &= word - 1;
+      Add(column_->Get(static_cast<size_t>(base) +
+                       static_cast<size_t>(b)));
+    }
+  }
+
+  int64_t sum() const { return static_cast<int64_t>(sum_); }
 
  private:
+  /// SUM wraps modulo 2^64 on overflow (well-defined, unlike signed
+  /// accumulation): extreme-valued columns can exceed the int64 range.
+  void Add(Value v) { sum_ += static_cast<uint64_t>(v); }
+
   const Column* column_;
   const PrefixSums* prefix_sums_ = nullptr;
-  int64_t sum_ = 0;
+  uint64_t sum_ = 0;
 };
 
 /// Collects the (storage-order) row ids of all matches. Used by examples

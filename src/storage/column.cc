@@ -1,27 +1,71 @@
 #include "storage/column.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
+#include <utility>
 
 #include "common/math_util.h"
 
 namespace flood {
+namespace {
+
+/// Unpacks `n` deltas of compile-time width `W` starting at absolute bit
+/// offset `bit` of `words`, adding `base`. Branch-free: the cross-word
+/// spill is always OR-ed in. `(x << 1) << (63 - shift)` equals
+/// `x << (64 - shift)` for shift in [1, 63] and, at shift == 0, leaves
+/// only bit 63 polluted — which the W-bit mask (W < 64) discards.
+/// `words` must have one readable word past the last encoded bit
+/// (FromValues allocates the slack).
+template <uint32_t W>
+void UnpackBlock(const uint64_t* words, uint64_t bit, Value base, size_t n,
+                 Value* out) {
+  // Deltas are added to the base in uint64 (wrapping, hence well-defined)
+  // arithmetic: a width-64 block can hold kValueMin and kValueMax together.
+  const uint64_t ubase = static_cast<uint64_t>(base);
+  if constexpr (W == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = base;
+  } else if constexpr (W == 64) {
+    // 128 * 64 bits per block keeps 64-bit-wide blocks word-aligned.
+    const uint64_t* p = words + (bit >> 6);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<Value>(ubase + p[i]);
+    }
+  } else {
+    constexpr uint64_t kMask = (uint64_t{1} << W) - 1;
+    for (size_t i = 0; i < n; ++i, bit += W) {
+      const size_t word = static_cast<size_t>(bit >> 6);
+      const uint32_t shift = static_cast<uint32_t>(bit & 63);
+      const uint64_t lo = words[word] >> shift;
+      const uint64_t hi = (words[word + 1] << 1) << (63 - shift);
+      out[i] = static_cast<Value>(ubase + ((lo | hi) & kMask));
+    }
+  }
+}
+
+using UnpackFn = void (*)(const uint64_t*, uint64_t, Value, size_t, Value*);
+
+template <uint32_t... Ws>
+constexpr std::array<UnpackFn, sizeof...(Ws)> MakeUnpackTable(
+    std::integer_sequence<uint32_t, Ws...>) {
+  return {&UnpackBlock<Ws>...};
+}
+
+/// One specialized unpacker per bit width 0..64.
+constexpr std::array<UnpackFn, 65> kUnpackers =
+    MakeUnpackTable(std::make_integer_sequence<uint32_t, 65>{});
+
+}  // namespace
 
 Column Column::FromValues(std::vector<Value> values, Encoding encoding) {
   Column col;
   col.encoding_ = encoding;
   col.size_ = values.size();
-  if (encoding == Encoding::kPlain) {
-    col.plain_ = std::move(values);
-    return col;
-  }
 
   const size_t n = values.size();
   const size_t num_blocks = (n + kBlockSize - 1) / kBlockSize;
   col.block_min_.reserve(num_blocks);
-  col.block_width_.reserve(num_blocks);
-  col.block_bit_offset_.reserve(num_blocks);
-
-  uint64_t total_bits = 0;
+  col.block_max_.reserve(num_blocks);
   for (size_t b = 0; b < num_blocks; ++b) {
     const size_t begin = b * kBlockSize;
     const size_t end = std::min(n, begin + kBlockSize);
@@ -31,12 +75,24 @@ Column Column::FromValues(std::vector<Value> values, Encoding encoding) {
       mn = std::min(mn, values[i]);
       mx = std::max(mx, values[i]);
     }
+    col.block_min_.push_back(mn);
+    col.block_max_.push_back(mx);
+  }
+
+  if (encoding == Encoding::kPlain) {
+    col.plain_ = std::move(values);
+    return col;
+  }
+
+  col.block_width_.reserve(num_blocks);
+  col.block_bit_offset_.reserve(num_blocks);
+  uint64_t total_bits = 0;
+  for (size_t b = 0; b < num_blocks; ++b) {
     // Delta fits in the unsigned difference; int64 subtraction could
     // overflow for extreme ranges, so widen through uint64.
-    const uint64_t max_delta =
-        static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+    const uint64_t max_delta = static_cast<uint64_t>(col.block_max_[b]) -
+                               static_cast<uint64_t>(col.block_min_[b]);
     const uint32_t width = static_cast<uint32_t>(BitWidth(max_delta));
-    col.block_min_.push_back(mn);
     col.block_width_.push_back(width);
     col.block_bit_offset_.push_back(total_bits);
     total_bits += static_cast<uint64_t>(kBlockSize) * width;
@@ -60,6 +116,19 @@ Column Column::FromValues(std::vector<Value> values, Encoding encoding) {
   return col;
 }
 
+size_t Column::DecodeBlockInto(size_t block, Value* out) const {
+  FLOOD_DCHECK(block < NumBlocks());
+  const size_t begin = block * kBlockSize;
+  const size_t n = std::min(kBlockSize, size_ - begin);
+  if (encoding_ == Encoding::kPlain) {
+    std::memcpy(out, plain_.data() + begin, n * sizeof(Value));
+    return n;
+  }
+  kUnpackers[block_width_[block]](words_.data(), block_bit_offset_[block],
+                                  block_min_[block], n, out);
+  return n;
+}
+
 std::vector<Value> Column::Decode() const {
   std::vector<Value> out(size_);
   ForEach(0, size_, [&out](size_t i, Value v) { out[i] = v; });
@@ -67,9 +136,12 @@ std::vector<Value> Column::Decode() const {
 }
 
 size_t Column::MemoryUsageBytes() const {
-  if (encoding_ == Encoding::kPlain) return plain_.size() * sizeof(Value);
-  return block_min_.size() * sizeof(Value) +
-         block_width_.size() * sizeof(uint32_t) +
+  const size_t zone_maps =
+      (block_min_.size() + block_max_.size()) * sizeof(Value);
+  if (encoding_ == Encoding::kPlain) {
+    return plain_.size() * sizeof(Value) + zone_maps;
+  }
+  return zone_maps + block_width_.size() * sizeof(uint32_t) +
          block_bit_offset_.size() * sizeof(uint64_t) +
          words_.size() * sizeof(uint64_t);
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "common/rng.h"
@@ -103,6 +104,81 @@ TEST(ColumnTest, BlockDeltaCompressesNarrowData) {
   const Column plain = Column::FromValues(values, Encoding::kPlain);
   EXPECT_LT(compressed.MemoryUsageBytes(), plain.MemoryUsageBytes() / 4);
 }
+
+class ColumnBlockTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(ColumnBlockTest, DecodeBlockIntoMatchesGet) {
+  const Encoding enc = GetParam();
+  Rng rng(47);
+  // 4 full blocks plus a partial tail; wide value range.
+  std::vector<Value> values =
+      UniformColumn(4 * Column::kBlockSize + 61, -1'000'000'000,
+                    1'000'000'000, rng);
+  const Column col = Column::FromValues(values, enc);
+  Value buf[Column::kBlockSize];
+  size_t covered = 0;
+  for (size_t b = 0; b < col.NumBlocks(); ++b) {
+    const size_t n = col.DecodeBlockInto(b, buf);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(buf[i], values[b * Column::kBlockSize + i]) << b << ":" << i;
+    }
+    covered += n;
+  }
+  EXPECT_EQ(covered, values.size());
+}
+
+TEST_P(ColumnBlockTest, DecodeBlockIntoAllWidths) {
+  const Encoding enc = GetParam();
+  Rng rng(48);
+  for (uint32_t w = 0; w <= 64; ++w) {
+    std::vector<Value> values(Column::kBlockSize + 17);
+    const uint64_t mask =
+        w == 0 ? 0 : (w >= 64 ? ~uint64_t{0} : (uint64_t{1} << w) - 1);
+    const Value base = w >= 64 ? kValueMin : -123'456;
+    for (size_t i = 0; i < values.size(); ++i) {
+      uint64_t delta = rng.Next() & mask;
+      if (i == 0) delta = 0;
+      if (i == 1) delta = mask;  // Pin the block's delta width to w.
+      values[i] = static_cast<Value>(static_cast<uint64_t>(base) + delta);
+    }
+    const Column col = Column::FromValues(values, enc);
+    Value buf[Column::kBlockSize];
+    for (size_t b = 0; b < col.NumBlocks(); ++b) {
+      const size_t n = col.DecodeBlockInto(b, buf);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(buf[i], values[b * Column::kBlockSize + i])
+            << "w=" << w << " " << b << ":" << i;
+      }
+    }
+  }
+}
+
+TEST_P(ColumnBlockTest, ZoneMapsCoverBlockExtremes) {
+  const Encoding enc = GetParam();
+  Rng rng(49);
+  std::vector<Value> values =
+      UniformColumn(3 * Column::kBlockSize + 5, -500, 500, rng);
+  const Column col = Column::FromValues(values, enc);
+  ASSERT_EQ(col.NumBlocks(), 4u);
+  for (size_t b = 0; b < col.NumBlocks(); ++b) {
+    const size_t begin = b * Column::kBlockSize;
+    const size_t end = std::min(values.size(), begin + Column::kBlockSize);
+    const auto [mn, mx] =
+        std::minmax_element(values.begin() + static_cast<ptrdiff_t>(begin),
+                            values.begin() + static_cast<ptrdiff_t>(end));
+    EXPECT_EQ(col.BlockMin(b), *mn) << b;
+    EXPECT_EQ(col.BlockMax(b), *mx) << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, ColumnBlockTest,
+                         ::testing::Values(Encoding::kPlain,
+                                           Encoding::kBlockDelta),
+                         [](const auto& info) {
+                           return info.param == Encoding::kPlain
+                                      ? "Plain"
+                                      : "BlockDelta";
+                         });
 
 TEST(ColumnTest, EmptyColumn) {
   const Column col = Column::FromValues({}, Encoding::kBlockDelta);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/inline_vec.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -202,6 +203,37 @@ TEST(TimerTest, RestartResets) {
   const int64_t before = sw.ElapsedNanos();
   sw.Restart();
   EXPECT_LT(sw.ElapsedNanos(), before);
+}
+
+TEST(InlineVecTest, StaysInlineUnderCapacity) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+}
+
+TEST(InlineVecTest, SpillsToHeapPreservingContents) {
+  InlineVec<uint64_t, 2> v;
+  for (uint64_t i = 0; i < 100; ++i) v.push_back(i * i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * i);
+  EXPECT_EQ(v.back(), 99u * 99u);
+}
+
+TEST(InlineVecTest, RangeForAndClear) {
+  InlineVec<size_t, 8> v;
+  for (size_t i = 0; i < 20; ++i) v.push_back(i);
+  size_t sum = 0;
+  for (size_t x : v) sum += x;
+  EXPECT_EQ(sum, 190u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(7);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7u);
 }
 
 }  // namespace

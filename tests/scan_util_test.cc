@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.h"
 #include "query/scan_util.h"
 #include "query/visitor.h"
 #include "tests/test_util.h"
@@ -9,6 +12,14 @@ namespace {
 
 using testing::DataShape;
 using testing::MakeTable;
+
+/// Forces the block kernel for the duration of a test and restores the
+/// default afterwards (the mode is process-global).
+class ScopedScanKernel {
+ public:
+  explicit ScopedScanKernel(ScanKernel k) { SetScanKernel(k); }
+  ~ScopedScanKernel() { SetScanKernel(ScanKernel::kBlock); }
+};
 
 TEST(ScanUtilTest, ExactRangeSkipsChecks) {
   const Table t = MakeTable(DataShape::kUniform, 1000, 2, 1);
@@ -27,7 +38,8 @@ TEST(ScanUtilTest, EmptyCheckSetActsExact) {
   const Query q(2);
   CountVisitor v;
   QueryStats stats;
-  ScanRange(t, q, 10, 60, /*exact=*/false, {}, v, &stats);
+  ScanRange(t, q, 10, 60, /*exact=*/false, std::vector<size_t>{}, v,
+            &stats);
   EXPECT_EQ(v.count(), 50u);
   EXPECT_EQ(stats.points_exact, 50u);
 }
@@ -44,23 +56,27 @@ TEST(ScanUtilTest, FilterCheckMatchesBruteForce) {
   }
 }
 
-TEST(ScanUtilTest, ChunkBoundaryAlignment) {
-  // Ranges crossing the 2048-row chunk and 64-bit word boundaries.
+TEST(ScanUtilTest, BoundaryAlignmentBothKernels) {
+  // Ranges crossing block (128) and 64-bit word boundaries.
   std::vector<Value> col(6000);
   for (size_t i = 0; i < col.size(); ++i) col[i] = static_cast<Value>(i);
   StatusOr<Table> t = Table::FromColumns({col});
   ASSERT_TRUE(t.ok());
   Query q = QueryBuilder(1).Range(0, 100, 4999).Build();
-  for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
-           {0, 6000}, {1, 2049}, {2047, 2049}, {63, 65}, {2048, 4096},
-           {5999, 6000}, {0, 1}, {100, 100}}) {
-    CountVisitor v;
-    ScanRange(*t, q, begin, end, false, {0}, v, nullptr);
-    uint64_t expected = 0;
-    for (size_t i = begin; i < end; ++i) {
-      if (col[i] >= 100 && col[i] <= 4999) ++expected;
+  const std::vector<size_t> dims{0};
+  for (ScanKernel kernel : {ScanKernel::kNaive, ScanKernel::kBlock}) {
+    ScopedScanKernel scoped(kernel);
+    for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
+             {0, 6000}, {1, 2049}, {2047, 2049}, {63, 65}, {2048, 4096},
+             {127, 129}, {128, 256}, {5999, 6000}, {0, 1}, {100, 100}}) {
+      CountVisitor v;
+      ScanRange(*t, q, begin, end, false, dims, v, nullptr);
+      uint64_t expected = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (col[i] >= 100 && col[i] <= 4999) ++expected;
+      }
+      EXPECT_EQ(v.count(), expected) << begin << ".." << end;
     }
-    EXPECT_EQ(v.count(), expected) << begin << ".." << end;
   }
 }
 
@@ -69,7 +85,8 @@ TEST(ScanUtilTest, MultiDimChecksAndCombine) {
   ASSERT_TRUE(t.ok());
   Query q = QueryBuilder(2).Range(0, 2, 4).Range(1, 10, 30).Build();
   CollectVisitor v;
-  ScanRange(*t, q, 0, 4, false, {0, 1}, v, nullptr);
+  const std::vector<size_t> dims{0, 1};
+  ScanRange(*t, q, 0, 4, false, dims, v, nullptr);
   // Rows 1 (2,20) and 2 (3,30) match.
   ASSERT_EQ(v.rows().size(), 2u);
   EXPECT_EQ(v.rows()[0], 1u);
@@ -84,6 +101,178 @@ TEST(ScanUtilTest, FilteredDimsListsOnlyFiltered) {
   EXPECT_EQ(dims[1], 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Block kernel vs naive reference equivalence.
+// ---------------------------------------------------------------------------
+
+/// A column whose every full block has exactly `w` delta bits: the first
+/// element pins the block minimum, the second pins the maximum delta, the
+/// rest are uniform within the span. Block bases differ so zone maps have
+/// distinct ranges.
+std::vector<Value> WidthControlledColumn(uint32_t w, size_t n, Rng& rng) {
+  constexpr size_t kB = Column::kBlockSize;
+  std::vector<Value> v(n);
+  for (size_t begin = 0; begin < n; begin += kB) {
+    const size_t end = std::min(n, begin + kB);
+    const size_t block = begin / kB;
+    Value base;
+    uint64_t mask;
+    if (w >= 64) {
+      base = kValueMin;
+      mask = ~uint64_t{0};
+    } else {
+      base = static_cast<Value>(block) * 1'000'000;
+      mask = w == 0 ? 0 : (uint64_t{1} << w) - 1;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      uint64_t delta = rng.Next() & mask;
+      if (i == begin) {
+        delta = 0;
+      } else if (i == begin + 1) {
+        delta = mask;
+      }
+      v[i] = static_cast<Value>(static_cast<uint64_t>(base) + delta);
+    }
+  }
+  return v;
+}
+
+/// Runs naive and block kernels over the same range and asserts identical
+/// matched rows, sums, and counter totals.
+void ExpectKernelsAgree(const Table& t, const Query& q, size_t begin,
+                        size_t end, std::span<const size_t> dims) {
+  CollectVisitor naive_rows;
+  SumVisitor naive_sum(&t.column(0));
+  QueryStats naive_stats;
+  {
+    ScopedScanKernel scoped(ScanKernel::kNaive);
+    ScanRange(t, q, begin, end, false, dims, naive_rows, &naive_stats);
+    ScanRange(t, q, begin, end, false, dims, naive_sum, nullptr);
+  }
+  CollectVisitor block_rows;
+  SumVisitor block_sum(&t.column(0));
+  QueryStats block_stats;
+  {
+    ScopedScanKernel scoped(ScanKernel::kBlock);
+    ScanRange(t, q, begin, end, false, dims, block_rows, &block_stats);
+    ScanRange(t, q, begin, end, false, dims, block_sum, nullptr);
+  }
+  ASSERT_EQ(naive_rows.rows(), block_rows.rows());
+  EXPECT_EQ(naive_sum.sum(), block_sum.sum());
+  EXPECT_EQ(naive_stats.points_scanned, block_stats.points_scanned);
+  EXPECT_EQ(naive_stats.points_matched, block_stats.points_matched);
+  EXPECT_EQ(naive_stats.ranges_scanned, block_stats.ranges_scanned);
+  EXPECT_EQ(naive_stats.blocks_skipped, 0u);
+  EXPECT_EQ(naive_stats.blocks_exact, 0u);
+}
+
+TEST(ScanKernelEquivalenceTest, AllBitWidthsBothEncodings) {
+  constexpr size_t kB = Column::kBlockSize;
+  const size_t n = 5 * kB + 37;  // Trailing partial block.
+  for (uint32_t w = 0; w <= 64; ++w) {
+    Rng rng(1000 + w);
+    std::vector<Value> c0 = WidthControlledColumn(w, n, rng);
+    std::vector<Value> c1 = WidthControlledColumn(w / 2, n, rng);
+    // Ranges spanning roughly half of each column's value span.
+    std::vector<Value> sorted = c0;
+    std::sort(sorted.begin(), sorted.end());
+    const Value lo = sorted[n / 4];
+    const Value hi = sorted[3 * n / 4];
+    std::vector<Value> sorted1 = c1;
+    std::sort(sorted1.begin(), sorted1.end());
+    for (Column::Encoding enc :
+         {Column::Encoding::kPlain, Column::Encoding::kBlockDelta}) {
+      StatusOr<Table> t = Table::FromColumns({c0, c1}, enc);
+      ASSERT_TRUE(t.ok());
+      const Query q = QueryBuilder(2)
+                          .Range(0, lo, hi)
+                          .Range(1, sorted1[n / 10], sorted1[9 * n / 10])
+                          .Build();
+      const std::vector<size_t> dims = FilteredDims(q);
+      // Full range, block-straddling sub-ranges, and intra-block ranges.
+      for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
+               {0, n}, {1, n - 1}, {kB - 1, kB + 1}, {kB / 2, 3 * kB + 5},
+               {2 * kB, 3 * kB}, {n - 5, n}}) {
+        SCOPED_TRACE("width=" + std::to_string(w) + " range=" +
+                     std::to_string(begin) + ".." + std::to_string(end));
+        ExpectKernelsAgree(*t, q, begin, end, dims);
+      }
+    }
+  }
+}
+
+TEST(ScanKernelEquivalenceTest, RandomQueriesOnShapedData) {
+  for (DataShape shape : {DataShape::kUniform, DataShape::kClustered,
+                          DataShape::kDuplicates, DataShape::kCorrelated}) {
+    const Table t = MakeTable(shape, 3000, 3, 7);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      const Query q = testing::RandomQuery(t, 400 + seed);
+      const std::vector<size_t> dims = FilteredDims(q);
+      if (dims.empty()) continue;
+      ExpectKernelsAgree(t, q, 0, t.num_rows(), dims);
+      ExpectKernelsAgree(t, q, 17, t.num_rows() - 211, dims);
+    }
+  }
+}
+
+TEST(ScanKernelTest, ZoneMapSkipAndExactCounters) {
+  // Sorted column: each 128-block covers a distinct narrow range.
+  std::vector<Value> col(1280);
+  for (size_t i = 0; i < col.size(); ++i) col[i] = static_cast<Value>(i);
+  StatusOr<Table> t =
+      Table::FromColumns({col}, Column::Encoding::kBlockDelta);
+  ASSERT_TRUE(t.ok());
+  const Query q = QueryBuilder(1).Range(0, 256, 800).Build();
+  const std::vector<size_t> dims{0};
+
+  ScopedScanKernel scoped(ScanKernel::kBlock);
+  {
+    CountVisitor v;
+    QueryStats stats;
+    ScanRange(*t, q, 0, 1280, false, dims, v, &stats);
+    EXPECT_EQ(v.count(), 545u);  // 256..800 inclusive.
+    // Blocks 0-1 and 7-9 are disjoint with [256, 800]; blocks 2-5 are
+    // fully contained; block 6 (768..895) needs decoding.
+    EXPECT_EQ(stats.blocks_skipped, 5u);
+    EXPECT_EQ(stats.blocks_exact, 4u);
+    EXPECT_EQ(stats.points_scanned, 1280u);
+    EXPECT_EQ(stats.points_matched, 545u);
+  }
+  {
+    // Clipped scan range: zone maps still apply to partial blocks.
+    CountVisitor v;
+    QueryStats stats;
+    ScanRange(*t, q, 300, 900, false, dims, v, &stats);
+    EXPECT_EQ(v.count(), 501u);  // 300..800 inclusive.
+    EXPECT_EQ(stats.blocks_skipped, 1u);  // Clipped block 7 (896..899).
+    EXPECT_EQ(stats.blocks_exact, 4u);    // Blocks 2-5 (clipped block 2).
+  }
+  {
+    // The naive kernel never touches the block counters.
+    ScopedScanKernel naive(ScanKernel::kNaive);
+    CountVisitor v;
+    QueryStats stats;
+    ScanRange(*t, q, 0, 1280, false, dims, v, &stats);
+    EXPECT_EQ(v.count(), 545u);
+    EXPECT_EQ(stats.blocks_skipped, 0u);
+    EXPECT_EQ(stats.blocks_exact, 0u);
+  }
+}
+
+TEST(ScanKernelTest, EnvToggleDefaultsToBlock) {
+  // The suite runs without FLOOD_SCAN_KERNEL set, so the resolved default
+  // must be the block kernel.
+  SetScanKernel(ScanKernel::kBlock);
+  EXPECT_EQ(ActiveScanKernel(), ScanKernel::kBlock);
+  SetScanKernel(ScanKernel::kNaive);
+  EXPECT_EQ(ActiveScanKernel(), ScanKernel::kNaive);
+  SetScanKernel(ScanKernel::kBlock);
+}
+
+// ---------------------------------------------------------------------------
+// Visitor word-level contract.
+// ---------------------------------------------------------------------------
+
 TEST(VisitorTest, SumVisitorUsesPrefixSumsForExactRanges) {
   std::vector<Value> col{5, 10, 15, 20, 25};
   const Column column = Column::FromValues(col);
@@ -97,6 +286,34 @@ TEST(VisitorTest, SumVisitorUsesPrefixSumsForExactRanges) {
   EXPECT_EQ(without.sum(), 45);
   without.VisitRow(0);
   EXPECT_EQ(without.sum(), 50);
+}
+
+TEST(VisitorTest, CountVisitorPopcountsMatchWords) {
+  CountVisitor v;
+  v.VisitMatchWord(0, 0b1011);
+  v.VisitMatchWord(64, ~uint64_t{0});
+  EXPECT_EQ(v.count(), 67u);
+}
+
+TEST(VisitorTest, SumVisitorFullWordUsesPrefixSums) {
+  std::vector<Value> col(128);
+  for (size_t i = 0; i < col.size(); ++i) col[i] = static_cast<Value>(i);
+  const Column column = Column::FromValues(col);
+  const PrefixSums sums(col);
+  SumVisitor v(&column);
+  v.set_prefix_sums(&sums);
+  v.VisitMatchWord(0, ~uint64_t{0});  // Rows 0..63 -> prefix-sum path.
+  EXPECT_EQ(v.sum(), 63 * 64 / 2);
+  v.VisitMatchWord(64, 0b101);  // Rows 64 and 66 -> per-bit path.
+  EXPECT_EQ(v.sum(), 63 * 64 / 2 + 64 + 66);
+}
+
+TEST(VisitorTest, CollectVisitorExpandsMatchWordsInOrder) {
+  CollectVisitor v;
+  v.VisitMatchWord(128, (uint64_t{1} << 5) | (uint64_t{1} << 63));
+  ASSERT_EQ(v.rows().size(), 2u);
+  EXPECT_EQ(v.rows()[0], 133u);
+  EXPECT_EQ(v.rows()[1], 191u);
 }
 
 TEST(VisitorTest, KindsReported) {
