@@ -205,6 +205,34 @@ inline RunResult RunWorkload(const MultiDimIndex& index,
   return r;
 }
 
+/// Facade flavor: runs the workload through Database::RunBatch — the
+/// delta-aware public path, so staged writes are reflected — and reports
+/// the same averages from the batch's merged stats.
+inline RunResult RunWorkload(Database& db, const Workload& workload) {
+  const BatchResult batch = db.RunBatch(workload);
+  FLOOD_CHECK(batch.status.ok());
+  RunResult r;
+  r.queries = workload.size();
+  r.stats = batch.stats;
+  const double nq = std::max<double>(1.0, static_cast<double>(r.queries));
+  r.avg_ms = static_cast<double>(r.stats.total_ns) / nq / 1e6;
+  r.avg_index_ms =
+      static_cast<double>(r.stats.index_ns + r.stats.refine_ns) / nq / 1e6;
+  r.avg_scan_ms = static_cast<double>(r.stats.scan_ns) / nq / 1e6;
+  return r;
+}
+
+/// Opens a Database over `table` with the given registry index name and
+/// training workload (the facade-era BuildBaseline/BuildFlood).
+inline StatusOr<Database> OpenDatabase(const std::string& index_name,
+                                       const Table& table,
+                                       const Workload& train,
+                                       DatabaseOptions options = {}) {
+  options.index_name = index_name;
+  options.training_workload = train;
+  return Database::Open(table, std::move(options));
+}
+
 /// Tries `candidates` page sizes on a training workload sample and returns
 /// the fastest (the paper's "we tuned the baseline approaches as much as
 /// possible per workload").

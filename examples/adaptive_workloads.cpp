@@ -1,7 +1,9 @@
 // Adaptive workloads (§7.4 Fig. 10 + §8): a long-running service whose
-// query mix shifts. The CostMonitor detects the drift, Database::Retrain
-// re-learns the layout online, and a DeltaBuffer absorbs inserts between
-// rebuilds.
+// query mix shifts and whose table keeps growing. The CostMonitor detects
+// the drift, Database::Retrain re-learns the layout online, and the
+// facade's write path (Insert/Delete staged in a delta buffer, drained by
+// Compact or the auto-retrain policy) absorbs writes between rebuilds —
+// every query already reflects them.
 //
 //   $ ./examples/adaptive_workloads
 
@@ -9,10 +11,7 @@
 
 #include "api/database.h"
 #include "core/cost_model.h"
-#include "core/delta_buffer.h"
-#include "core/flood_index.h"
 #include "data/datasets.h"
-#include "query/visitor.h"
 
 int main() {
   using namespace flood;
@@ -20,12 +19,14 @@ int main() {
   std::printf("generating TPC-H lineitem (600k rows)...\n");
   const BenchDataset tpch = MakeTpchDataset(600'000, 21);
 
-  // Phase 1: date-oriented reporting workload.
+  // Phase 1: date-oriented reporting workload. auto_retrain_fraction keeps
+  // the delta below 2% of the base rows by compacting automatically.
   const Workload phase1 =
       MakeWorkload(tpch, WorkloadKind::kOlapSkewed, 120, 22);
   DatabaseOptions options;
   options.index_name = "flood";
   options.training_workload = phase1;
+  options.auto_retrain_fraction = 0.02;
   auto db = Database::Open(tpch.table, std::move(options));
   FLOOD_CHECK(db.ok());
   std::printf("phase-1 %s\n", db->Describe().c_str());
@@ -39,19 +40,13 @@ int main() {
     std::printf("phase-1 avg query: %.3f ms\n", baseline / 1e6);
   }
 
-  // The workload shifts to a dimension the learned layout *excluded*
-  // (column count 1, not the sort dimension) — the worst case for the
-  // current layout, exactly what §8's shift detection is for.
+  // The workload shifts to a dimension phase 1 never filtered — one the
+  // learned layout will have deprioritized, the worst case for it and
+  // exactly what §8's shift detection is for.
   size_t shifted_dim = 1;
-  {
-    const auto* flood_index = dynamic_cast<const FloodIndex*>(&db->index());
-    FLOOD_CHECK(flood_index != nullptr);
-    const GridLayout& layout = flood_index->layout();
-    for (size_t i = 0; i < layout.NumGridDims(); ++i) {
-      if (layout.columns[i] == 1) {
-        shifted_dim = layout.grid_dim(i);
-        break;
-      }
+  for (size_t dim = 0; dim < tpch.table.num_dims(); ++dim) {
+    if (phase1.FilterFrequency(dim) < phase1.FilterFrequency(shifted_dim)) {
+      shifted_dim = dim;
     }
   }
   Workload phase2;
@@ -61,8 +56,8 @@ int main() {
     spec.range_dims = {shifted_dim};
     phase2 = gen.GenerateWorkload({spec}, 120, 0.001);
   }
-  std::printf("\n-- workload shifts to dim %zu (%s), which the layout "
-              "excluded --\n",
+  std::printf("\n-- workload shifts to dim %zu (%s), which phase 1 never "
+              "filtered --\n",
               shifted_dim, tpch.table.name(shifted_dim).c_str());
   for (const Query& q : phase2) {
     const QueryResult r = db->Run(q);
@@ -82,45 +77,50 @@ int main() {
                 stale_ms, fresh_ms, stale_ms / fresh_ms);
   }
 
-  // Inserts between rebuilds: buffer + combined query, then merge.
-  std::printf("\n-- inserts via DeltaBuffer --\n");
-  DeltaBuffer buffer(tpch.table.num_dims());
+  // Online inserts through the facade: staged in the delta buffer, merged
+  // into every query immediately — no stale reads, no manual buffer.
+  std::printf("\n-- online inserts through Database::Insert --\n");
   Rng rng(24);
+  const Query q = QueryBuilder(7).Range(0, 1000, 1002).Count().Build();
+  const uint64_t before = db->Run(q).count;
   for (int i = 0; i < 10'000; ++i) {
-    FLOOD_CHECK(buffer
-                    .Insert({rng.UniformInt(0, 2526),
-                             rng.UniformInt(0, 2556), rng.UniformInt(1, 50),
-                             rng.UniformInt(0, 10),
-                             rng.UniformInt(1, 2'400'000),
-                             rng.UniformInt(1, 100'000),
-                             rng.UniformInt(900, 52'500)})
+    FLOOD_CHECK(db->Insert({rng.UniformInt(0, 2526),
+                            rng.UniformInt(0, 2556), rng.UniformInt(1, 50),
+                            rng.UniformInt(0, 10),
+                            rng.UniformInt(1, 2'400'000),
+                            rng.UniformInt(1, 100'000),
+                            rng.UniformInt(900, 52'500)})
                     .ok());
   }
-  Query q = QueryBuilder(7).Range(0, 1000, 1002).Count().Build();
-  const uint64_t main_count = db->Run(q).count;
-  CountVisitor delta_count;
-  buffer.Scan(q, delta_count, tpch.table.num_rows(), nullptr);
-  std::printf("combined count (index %llu + buffer %llu) = %llu\n",
-              static_cast<unsigned long long>(main_count),
-              static_cast<unsigned long long>(delta_count.count()),
-              static_cast<unsigned long long>(main_count +
-                                              delta_count.count()));
+  const QueryResult staged = db->Run(q);
+  std::printf("count %llu -> %llu immediately after insert "
+              "(%zu rows still staged, %llu compactions so far, "
+              "%llu delta rows scanned by that query)\n",
+              static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(staged.count),
+              db->pending_writes(),
+              static_cast<unsigned long long>(db->compactions()),
+              static_cast<unsigned long long>(
+                  staged.stats.delta_rows_scanned));
 
-  // Merge the buffer and reopen on the widened table, pinning the layout
-  // we just learned (GridLayout::Serialize travels through the options
-  // map, so no optimizer run is needed).
-  auto merged = buffer.MergeInto(tpch.table);
-  FLOOD_CHECK(merged.ok());
-  const auto* flood_index = dynamic_cast<const FloodIndex*>(&db->index());
-  FLOOD_CHECK(flood_index != nullptr);
-  DatabaseOptions reopen;
-  reopen.index_name = "flood";
-  reopen.index_options.Set("layout", flood_index->layout().Serialize());
-  auto rebuilt = Database::Open(std::move(*merged), std::move(reopen));
-  FLOOD_CHECK(rebuilt.ok());
-  const QueryResult merged_result = rebuilt->Run(q);
-  std::printf("after merge + rebuild: %llu rows (table now %zu rows)\n",
-              static_cast<unsigned long long>(merged_result.count),
-              rebuilt->num_rows());
+  // Drain the rest explicitly: compaction merges the staged rows into a
+  // fresh table, re-learns the layout from the recorded workload, and
+  // swaps the rebuilt index in.
+  FLOOD_CHECK(db->Compact().ok());
+  const QueryResult compacted = db->Run(q);
+  std::printf("after Compact(): %llu rows (table now %zu rows, 0 staged, "
+              "%llu delta rows scanned)\n",
+              static_cast<unsigned long long>(compacted.count),
+              db->num_rows(),
+              static_cast<unsigned long long>(
+                  compacted.stats.delta_rows_scanned));
+  FLOOD_CHECK(compacted.count == staged.count);
+
+  // Deletes are tombstones until the next compaction.
+  const std::vector<Value> victim = db->GetRow(0);
+  auto deleted = db->Delete(victim);
+  FLOOD_CHECK(deleted.ok());
+  std::printf("deleted %zu row(s) equal to row 0; logical rows now %zu\n",
+              *deleted, db->num_rows());
   return 0;
 }

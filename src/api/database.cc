@@ -41,6 +41,8 @@ StatusOr<Database> Database::Open(const Table& table,
                  : nullptr);
   if (!index.ok()) return index.status();
   db.index_ = std::move(*index);
+  db.num_dims_ = table.num_dims();
+  db.write_ = std::make_unique<WriteState>(table.num_dims());
   db.num_threads_ = db.options_.num_threads == 0
                         ? ThreadPool::DefaultConcurrency()
                         : db.options_.num_threads;
@@ -66,15 +68,54 @@ StatusOr<std::unique_ptr<MultiDimIndex>> Database::BuildIndex(
 Status Database::ValidateArity(const Query& query) const {
   // Arity mismatches would read past the column array deep in the scan
   // loops; catch them at the API boundary instead.
-  if (query.num_dims() != num_dims()) {
+  if (query.num_dims() != num_dims_) {
     return Status::InvalidArgument(
         "query has " + std::to_string(query.num_dims()) +
-        " dims, table has " + std::to_string(num_dims()));
+        " dims, table has " + std::to_string(num_dims_));
   }
   return Status::OK();
 }
 
-QueryResult Database::ExecuteQuery(const Query& query) const {
+void Database::MergeDeltaAggregate(const Query& query,
+                                   QueryResult* result) const {
+  const DeltaBuffer& delta = write_->delta;
+  if (delta.pending() == 0) return;
+  const Stopwatch timer;
+  const bool is_sum = query.agg().kind == AggSpec::Kind::kSum;
+  const size_t agg_dim = query.agg().dim;
+  // Wrapping uint64 accumulation, matching SumVisitor's overflow
+  // semantics; COUNT subtraction is safe because every subtracted
+  // tombstone was counted by the base execution.
+  uint64_t count = result->count;
+  uint64_t sum = static_cast<uint64_t>(result->sum);
+  size_t matched = 0;
+  delta.ForEachMatch(query, &result->stats, [&](size_t i) {
+    ++count;
+    ++matched;
+    if (is_sum) sum += static_cast<uint64_t>(delta.Get(i, agg_dim));
+  });
+  result->stats.points_matched += matched;
+  // Tombstoned base matches: subtract their contribution, including from
+  // points_matched, which reports *logical* matches delivered to the
+  // caller (the base execution counted them physically).
+  const Table& base = index_->data();
+  const std::vector<RowId>& tombstones = delta.tombstones();
+  result->stats.delta_rows_scanned += tombstones.size();
+  for (RowId r : tombstones) {
+    if (query.Matches(base, r)) {
+      --count;
+      --result->stats.points_matched;
+      if (is_sum) sum -= static_cast<uint64_t>(base.Get(r, agg_dim));
+    }
+  }
+  const int64_t ns = timer.ElapsedNanos();
+  result->stats.scan_ns += ns;
+  result->stats.total_ns += ns;
+  result->count = count;
+  result->sum = static_cast<int64_t>(sum);
+}
+
+QueryResult Database::ExecuteQueryLocked(const Query& query) const {
   QueryResult result;
   result.kind = query.agg().kind == AggSpec::Kind::kSum
                     ? QueryResult::Kind::kSum
@@ -86,10 +127,28 @@ QueryResult Database::ExecuteQuery(const Query& query) const {
   const AggResult agg = ExecuteAggregate(*index_, query, &result.stats);
   result.count = agg.count;
   result.sum = agg.sum;
+  MergeDeltaAggregate(query, &result);
   return result;
 }
 
-void Database::RecordTelemetry(const QueryResult& result) {
+QueryResult Database::ExecuteQuery(const Query& query) const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return ExecuteQueryLocked(query);
+}
+
+void Database::RecordQueryLocked(const Query& query) {
+  const size_t cap = options_.workload_history;
+  if (cap == 0) return;
+  if (telemetry_->history.size() < cap) {
+    telemetry_->history.push_back(query);
+  } else {
+    telemetry_->history[telemetry_->history_next] = query;
+  }
+  telemetry_->history_next = (telemetry_->history_next + 1) % cap;
+}
+
+void Database::RecordTelemetry(const Query& query,
+                               const QueryResult& result) {
   std::lock_guard<std::mutex> lock(telemetry_->mu);
   ++telemetry_->queries_run;
   if (result.skipped_empty) {
@@ -97,12 +156,13 @@ void Database::RecordTelemetry(const QueryResult& result) {
     return;
   }
   telemetry_->stats.RecordQuery(result.stats);
+  RecordQueryLocked(query);
 }
 
 StatusOr<QueryResult> Database::TryRun(const Query& query) {
   FLOOD_RETURN_IF_ERROR(ValidateArity(query));
   QueryResult result = ExecuteQuery(query);
-  RecordTelemetry(result);
+  RecordTelemetry(query, result);
   return result;
 }
 
@@ -113,12 +173,34 @@ StatusOr<QueryResult> Database::TryCollect(const Query& query) {
   if (query.IsEmpty()) {
     result.skipped_empty = true;
   } else {
+    std::shared_lock<std::shared_mutex> lock(write_->mu);
     CollectVisitor visitor;
     index_->Execute(query, visitor, &result.stats);
+    const DeltaBuffer& delta = write_->delta;
+    if (delta.pending() > 0) {
+      const Stopwatch timer;
+      if (delta.num_tombstones() > 0) {
+        const size_t before = visitor.mutable_rows().size();
+        std::erase_if(visitor.mutable_rows(),
+                      [&delta](RowId r) { return delta.IsTombstoned(r); });
+        // points_matched reports logical matches, like the row set.
+        result.stats.points_matched -=
+            before - visitor.mutable_rows().size();
+        result.stats.delta_rows_scanned += delta.num_tombstones();
+      }
+      // Tombstone ids are always < base, so the erase above can never hit
+      // the staged ids Scan appends here.
+      delta.Scan(query, visitor,
+                 static_cast<RowId>(index_->data().num_rows()),
+                 &result.stats);
+      const int64_t ns = timer.ElapsedNanos();
+      result.stats.scan_ns += ns;
+      result.stats.total_ns += ns;
+    }
     result.rows = std::move(visitor.mutable_rows());
     result.count = result.rows.size();
   }
-  RecordTelemetry(result);
+  RecordTelemetry(query, result);
   return result;
 }
 
@@ -137,8 +219,13 @@ QueryResult Database::Collect(const Query& query) {
 void Database::RunShard(std::span<const Query> queries, size_t begin,
                         size_t end, QueryResult* results,
                         ShardAccum* acc) const {
+  // One shared-lock acquisition per shard, not per query: workers don't
+  // hammer the seam's cache line on cheap queries. The cost is that a
+  // writer waits for the slowest in-flight shard instead of a single
+  // query before it can stage.
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
   for (size_t i = begin; i < end; ++i) {
-    results[i] = ExecuteQuery(queries[i]);
+    results[i] = ExecuteQueryLocked(queries[i]);
     if (results[i].skipped_empty) {
       ++acc->empty_skipped;
     } else {
@@ -189,6 +276,9 @@ BatchResult Database::RunBatch(std::span<const Query> queries) {
     telemetry_->stats.Merge(batch.stats);
     telemetry_->queries_run += n;
     telemetry_->empty_skipped += batch.empty_skipped;
+    for (size_t i = 0; i < n; ++i) {
+      if (!batch.results[i].skipped_empty) RecordQueryLocked(queries[i]);
+    }
   }
   return batch;
 }
@@ -196,6 +286,238 @@ BatchResult Database::RunBatch(std::span<const Query> queries) {
 BatchResult Database::RunBatch(const Workload& workload) {
   return RunBatch(std::span<const Query>(workload.queries()));
 }
+
+// --- Writes ---------------------------------------------------------------
+
+Status Database::Insert(const std::vector<Value>& row) {
+  if (row.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table has " +
+        std::to_string(num_dims_) + " dims");
+  }
+  std::unique_lock<std::shared_mutex> lock(write_->mu);
+  FLOOD_RETURN_IF_ERROR(write_->delta.Insert(row));
+  MaybeAutoCompactLocked();
+  return Status::OK();
+}
+
+Status Database::InsertBatch(std::span<const std::vector<Value>> rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != num_dims_) {
+      return Status::InvalidArgument(
+          "batch row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " values, table has " +
+          std::to_string(num_dims_) + " dims");
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(write_->mu);
+  for (const std::vector<Value>& row : rows) {
+    FLOOD_RETURN_IF_ERROR(write_->delta.Insert(row));
+  }
+  MaybeAutoCompactLocked();
+  return Status::OK();
+}
+
+StatusOr<size_t> Database::Delete(const std::vector<Value>& key) {
+  if (key.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "key has " + std::to_string(key.size()) + " values, table has " +
+        std::to_string(num_dims_) + " dims");
+  }
+  std::unique_lock<std::shared_mutex> lock(write_->mu);
+  size_t deleted = write_->delta.EraseMatching(key);
+  // Tombstone every base row equal to the key, located with an exact-match
+  // query through the (immutable) index. AddTombstone refuses duplicates,
+  // so deleting the same key twice cannot subtract a base match twice.
+  Query probe(num_dims_);
+  for (size_t dim = 0; dim < num_dims_; ++dim) probe.SetEquals(dim, key[dim]);
+  CollectVisitor visitor;
+  index_->Execute(probe, visitor, nullptr);
+  for (RowId r : visitor.rows()) {
+    if (write_->delta.AddTombstone(r)) ++deleted;
+  }
+  MaybeAutoCompactLocked();
+  return deleted;
+}
+
+Status Database::CompactLocked(const Workload* workload) {
+  Workload recorded;
+  if (workload == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(telemetry_->mu);
+      recorded = Workload(telemetry_->history);
+    }
+    if (!recorded.empty()) {
+      workload = &recorded;
+    } else if (options_.training_workload.has_value()) {
+      workload = &*options_.training_workload;
+    }
+  }
+  DeltaBuffer& delta = write_->delta;
+  if (delta.pending() == 0) {
+    // Nothing staged: a pure relearn over the current storage copy (the
+    // pre-write-path Retrain). Every Build re-clusters its input, so the
+    // index's own table serves as the source.
+    StatusOr<std::unique_ptr<MultiDimIndex>> index =
+        BuildIndex(index_->data(), workload);
+    if (!index.ok()) return index.status();
+    index_ = std::move(*index);
+  } else {
+    StatusOr<Table> merged = delta.Materialize(index_->data());
+    if (!merged.ok()) return merged.status();
+    if (merged->num_rows() == 0) {
+      return Status::FailedPrecondition(
+          "compaction would leave the table empty");
+    }
+    StatusOr<std::unique_ptr<MultiDimIndex>> index =
+        BuildIndex(*merged, workload);
+    if (!index.ok()) return index.status();
+    // Point of no return: swap the rebuilt index in, then drop the staged
+    // writes it now contains.
+    index_ = std::move(*index);
+    delta.Clear();
+  }
+  ++write_->compactions;
+  write_->auto_compact_retry_at = 0;  // A success clears any backoff.
+  return Status::OK();
+}
+
+void Database::MaybeAutoCompactLocked() {
+  const double fraction = options_.auto_retrain_fraction;
+  if (fraction <= 0.0) return;
+  const size_t pending = write_->delta.pending();
+  const double base = static_cast<double>(index_->data().num_rows());
+  if (static_cast<double>(pending) <= fraction * base) return;
+  // Backoff: a failed attempt costs O(base rows) under the exclusive
+  // lock, so don't re-try on every write — only once the delta has
+  // doubled since the failure. The error is kept readable via
+  // last_auto_compact_status(); reads stay correct either way.
+  if (write_->auto_compact_retry_at != 0 &&
+      pending < write_->auto_compact_retry_at) {
+    return;
+  }
+  const Status status = CompactLocked(nullptr);
+  write_->last_auto_compact = status;
+  write_->auto_compact_retry_at = status.ok() ? 0 : pending * 2;
+}
+
+Status Database::Compact() {
+  std::unique_lock<std::shared_mutex> lock(write_->mu);
+  return CompactLocked(nullptr);
+}
+
+Status Database::Retrain(const Workload& workload) {
+  std::unique_lock<std::shared_mutex> lock(write_->mu);
+  FLOOD_RETURN_IF_ERROR(CompactLocked(&workload));
+  options_.training_workload = workload;
+  return Status::OK();
+}
+
+// --- Introspection --------------------------------------------------------
+
+std::string Database::index_display_name() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return std::string(index_->name());
+}
+
+std::string Database::Describe() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return index_->Describe();
+}
+
+std::vector<std::pair<std::string, double>> Database::IndexProperties()
+    const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return index_->DebugProperties();
+}
+
+size_t Database::IndexSizeBytes() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return index_->IndexSizeBytes();
+}
+
+const Table& Database::data() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return index_->data();
+}
+
+const MultiDimIndex& Database::index() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return *index_;
+}
+
+size_t Database::num_rows() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return index_->data().num_rows() - write_->delta.num_tombstones() +
+         write_->delta.size();
+}
+
+size_t Database::base_rows() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return index_->data().num_rows();
+}
+
+size_t Database::pending_writes() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->delta.pending();
+}
+
+size_t Database::delta_inserts() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->delta.size();
+}
+
+size_t Database::delta_tombstones() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->delta.num_tombstones();
+}
+
+uint64_t Database::compactions() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->compactions;
+}
+
+Status Database::last_auto_compact_status() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->last_auto_compact;
+}
+
+StatusOr<std::vector<Value>> Database::TryGetRow(RowId row) const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  const Table& base = index_->data();
+  std::vector<Value> values(num_dims_);
+  if (static_cast<size_t>(row) < base.num_rows()) {
+    for (size_t dim = 0; dim < num_dims_; ++dim) {
+      values[dim] = base.Get(row, dim);
+    }
+  } else {
+    const size_t i = static_cast<size_t>(row) - base.num_rows();
+    if (i >= write_->delta.size()) {
+      return Status::OutOfRange(
+          "row id " + std::to_string(row) + " is past the staged rows (" +
+          std::to_string(base.num_rows()) + " base + " +
+          std::to_string(write_->delta.size()) +
+          " staged); collected ids go stale at the next write/compaction");
+    }
+    for (size_t dim = 0; dim < num_dims_; ++dim) {
+      values[dim] = write_->delta.Get(i, dim);
+    }
+  }
+  return values;
+}
+
+std::vector<Value> Database::GetRow(RowId row) const {
+  StatusOr<std::vector<Value>> values = TryGetRow(row);
+  FLOOD_CHECK(values.ok());
+  return std::move(values).value();
+}
+
+Workload Database::RecordedWorkload() const {
+  std::lock_guard<std::mutex> lock(telemetry_->mu);
+  return Workload(telemetry_->history);
+}
+
+// --- Telemetry ------------------------------------------------------------
 
 QueryStats Database::cumulative_stats() const {
   std::lock_guard<std::mutex> lock(telemetry_->mu);
@@ -210,17 +532,6 @@ uint64_t Database::queries_run() const {
 uint64_t Database::empty_queries_skipped() const {
   std::lock_guard<std::mutex> lock(telemetry_->mu);
   return telemetry_->empty_skipped;
-}
-
-Status Database::Retrain(const Workload& workload) {
-  // The index's storage copy is a row permutation of the original table,
-  // and every Build re-clusters its input, so it serves as the source.
-  StatusOr<std::unique_ptr<MultiDimIndex>> index =
-      BuildIndex(index_->data(), &workload);
-  if (!index.ok()) return index.status();
-  index_ = std::move(*index);
-  options_.training_workload = workload;
-  return Status::OK();
 }
 
 }  // namespace flood

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -15,6 +16,7 @@
 #include "api/index_options.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/delta_buffer.h"
 #include "query/multidim_index.h"
 #include "query/query.h"
 #include "query/query_stats.h"
@@ -111,6 +113,19 @@ struct DatabaseOptions {
   /// Results and merged stats are identical at every setting (only the
   /// timing fields vary run to run).
   size_t num_threads = 1;
+  /// Online-write compaction policy (§8): when > 0, a write that leaves
+  /// more than `auto_retrain_fraction * base rows` staged writes (buffered
+  /// inserts + tombstones) triggers an automatic compaction — the delta is
+  /// drained into a fresh table, the layout is relearned from the recorded
+  /// workload (falling back to training_workload), and the rebuilt index
+  /// is swapped in. 0 disables; writes then stage until Compact()/Retrain()
+  /// is called explicitly. The triggering write holds the exclusive side
+  /// of the delta seam for the rebuild, so queries issued meanwhile wait.
+  double auto_retrain_fraction = 0.0;
+  /// Capacity of the recorded-query ring that auto/explicit compaction
+  /// retrains on (most recent executed queries win). 0 disables recording,
+  /// so compaction falls back to the Open-time training workload.
+  size_t workload_history = 256;
 };
 
 /// The front door of the library: owns a table and one index over it, and
@@ -125,11 +140,25 @@ struct DatabaseOptions {
 /// Adding an index or enumerating all of them goes through IndexRegistry;
 /// nothing above this layer names a concrete index type.
 ///
-/// Thread safety: a Database may serve reads from many threads — the index
-/// is immutable after Open and MultiDimIndex::Execute is const and
-/// re-entrant — and RunBatch itself fans a batch out over the configured
-/// pool. Telemetry folds are mutex-guarded (once per Run / once per batch,
-/// never per worker-query). Retrain is NOT safe concurrently with queries.
+/// Online writes (§8): Insert/InsertBatch stage rows in a DeltaBuffer in
+/// front of the immutable built index; Delete records tombstones against
+/// base rows (and erases matching staged inserts). Every query merges the
+/// staged writes with the base index's result — staged rows are filtered
+/// through the same predicate, tombstoned base matches are subtracted —
+/// so reads are never stale. Compact()/Retrain() (or the automatic
+/// auto_retrain_fraction policy) drain the delta into a fresh table,
+/// relearn the layout, and atomically swap the rebuilt index.
+///
+/// Thread safety: reads and writes are separated by a reader-writer seam
+/// on the delta. Queries (Run/Collect/RunBatch workers) take a shared
+/// lock for the duration of one query; Insert/Delete/Compact/Retrain take
+/// the exclusive lock. The built index itself stays immutable between
+/// compactions — MultiDimIndex::Execute remains const and re-entrant, so
+/// concurrent readers share it with no further synchronization — and a
+/// compaction holds the exclusive lock while it rebuilds, so in-flight
+/// queries always see a consistent (index, delta) pair. Telemetry folds
+/// are mutex-guarded (once per Run / once per batch, never per
+/// worker-query).
 class Database {
  public:
   /// Builds the chosen index over `table`; the index keeps its own
@@ -144,14 +173,20 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Executes one aggregation query (COUNT or SUM per `query.agg()`).
-  /// Empty-range queries short-circuit to a zero result without touching
-  /// the index. Returns InvalidArgument when the query's dimensionality
-  /// doesn't match the table.
+  /// Executes one aggregation query (COUNT or SUM per `query.agg()`) over
+  /// the base index plus the staged writes. Empty-range queries
+  /// short-circuit to a zero result without touching the index. Returns
+  /// InvalidArgument when the query's dimensionality doesn't match the
+  /// table.
   StatusOr<QueryResult> TryRun(const Query& query);
 
   /// Executes `query` and returns the matching row ids (kind == kRows).
-  /// Row ids refer to the index's storage order, i.e. rows of data().
+  /// Ids below base_rows() refer to the index's storage order (rows of
+  /// data()); ids >= base_rows() address staged inserts — resolve either
+  /// kind with GetRow(). Tombstoned base rows are suppressed. The ids are
+  /// a snapshot: the next Delete or compaction (explicit or automatic)
+  /// re-numbers staged rows, and a compaction re-clusters base rows too —
+  /// resolve ids before the next write, or after an explicit Compact().
   /// Returns InvalidArgument on a dimensionality mismatch.
   StatusOr<QueryResult> TryCollect(const Query& query);
 
@@ -169,38 +204,99 @@ class Database {
   BatchResult RunBatch(std::span<const Query> queries);
   BatchResult RunBatch(const Workload& workload);
 
-  /// Rebuilds the index with a new training workload (layout drift,
-  /// changed aggregation dims), re-clustering from the current storage
-  /// copy — no second copy of the table is kept. Keeps the index type and
-  /// options; on failure the old index is left in place. Not safe
-  /// concurrently with in-flight queries.
+  // --- Writes -------------------------------------------------------------
+
+  /// Stages one row (`row` must have num_dims() values) in the delta
+  /// buffer; visible to every subsequent query. May trigger an automatic
+  /// compaction (see DatabaseOptions::auto_retrain_fraction); a failed
+  /// auto-compaction keeps the staged writes (reads stay correct) and is
+  /// retried at the next threshold crossing.
+  Status Insert(const std::vector<Value>& row);
+
+  /// Stages many rows under one exclusive-lock acquisition; the
+  /// auto-retrain policy is evaluated once at the end of the batch.
+  Status InsertBatch(std::span<const std::vector<Value>> rows);
+
+  /// Deletes every row equal to `key` (full-tuple equality): staged
+  /// inserts are erased, and matching base rows are tombstoned so queries
+  /// suppress them until the next compaction removes them physically.
+  /// Returns the number of logical rows deleted.
+  StatusOr<size_t> Delete(const std::vector<Value>& key);
+
+  /// Drains the staged writes into a fresh table, relearns the layout
+  /// from the recorded workload (falling back to the Open-time training
+  /// workload), rebuilds the index, and swaps it in. No-op writes-wise
+  /// when nothing is staged (still relearns). On failure the old index
+  /// AND the staged writes are left in place — no write is ever lost.
+  Status Compact();
+
+  /// Compaction with an explicit new training workload (layout drift,
+  /// changed aggregation dims): drains the delta like Compact() but
+  /// relearns from `workload`, which also becomes the fallback workload
+  /// for future compactions. On failure the old index and staged writes
+  /// are left in place.
   Status Retrain(const Workload& workload);
 
   // --- Introspection ------------------------------------------------------
 
   /// Canonical registry key the database was opened with.
   const std::string& index_name() const { return index_name_; }
-  /// The index's self-reported display name (e.g. "RStarTree").
-  std::string_view index_display_name() const { return index_->name(); }
+  /// The index's self-reported display name (e.g. "RStarTree"). A copy:
+  /// a view could outlive the index it points into once a compaction
+  /// swaps it (current implementations return literals, future ones may
+  /// not).
+  std::string index_display_name() const;
   /// One-line physical-layout description (Flood: the learned grid).
-  std::string Describe() const { return index_->Describe(); }
+  std::string Describe() const;
   /// Structural counters (leaf counts, cells, ...) from the index.
-  std::vector<std::pair<std::string, double>> IndexProperties() const {
-    return index_->DebugProperties();
-  }
-  size_t IndexSizeBytes() const { return index_->IndexSizeBytes(); }
+  std::vector<std::pair<std::string, double>> IndexProperties() const;
+  size_t IndexSizeBytes() const;
 
   /// Resolved RunBatch parallelism (DatabaseOptions::num_threads with
   /// 0 already expanded to the hardware thread count).
   size_t num_threads() const { return num_threads_; }
 
-  /// The table in the index's storage order.
-  const Table& data() const { return index_->data(); }
-  size_t num_rows() const { return index_->data().num_rows(); }
-  size_t num_dims() const { return index_->data().num_dims(); }
+  /// The base table in the index's storage order. Excludes staged writes.
+  /// The returned reference lives inside the current index, so it is
+  /// invalidated by any compaction (explicit or auto-retrain) — do not
+  /// call or hold it concurrently with writes that may compact; the
+  /// shared lock inside only makes the pointer read itself safe.
+  const Table& data() const;
+
+  /// Logical row count: base rows − tombstones + staged inserts.
+  size_t num_rows() const;
+  /// Rows in the built index's storage copy (excludes staged writes).
+  size_t base_rows() const;
+  size_t num_dims() const { return num_dims_; }
+
+  /// Staged-write introspection (all consistent snapshots).
+  size_t pending_writes() const;    ///< Staged inserts + tombstones.
+  size_t delta_inserts() const;     ///< Staged inserted rows.
+  size_t delta_tombstones() const;  ///< Tombstoned base rows.
+  uint64_t compactions() const;     ///< Completed compactions/retrains.
+  /// Outcome of the most recent *automatic* compaction attempt (writes
+  /// swallow the error to stay correct — staged writes are kept and
+  /// retried with backoff); OK when none has run or the last succeeded.
+  Status last_auto_compact_status() const;
+
+  /// One full row by the id space TryCollect reports: ids < base_rows()
+  /// read the base storage copy, larger ids read the staged inserts.
+  /// Ids come from the same snapshot regime as TryCollect — a Delete or
+  /// compaction re-numbers them, after which a stale staged id resolves
+  /// to a different row or, past the staged count, to OutOfRange. GetRow
+  /// is the FLOOD_CHECK-on-error convenience, like Run vs TryRun.
+  StatusOr<std::vector<Value>> TryGetRow(RowId row) const;
+  std::vector<Value> GetRow(RowId row) const;
+
+  /// Snapshot of the recorded-query ring compaction retrains on (most
+  /// recent executed queries, up to DatabaseOptions::workload_history).
+  Workload RecordedWorkload() const;
 
   /// Escape hatch for advanced callers (kNN engine, custom visitors).
-  const MultiDimIndex& index() const { return *index_; }
+  /// Base index only: results ignore staged writes. Same lifetime caveat
+  /// as data(): a compaction destroys the object behind the reference,
+  /// so don't call or hold it concurrently with writes that may compact.
+  const MultiDimIndex& index() const;
 
   // --- Telemetry ----------------------------------------------------------
 
@@ -214,12 +310,33 @@ class Database {
  private:
   /// Mutex-guarded telemetry accumulators, heap-held so Database stays
   /// movable. Folded once per Run/Collect and once per RunBatch — never
-  /// per query inside a worker.
+  /// per query inside a worker. Also holds the recorded-query ring that
+  /// compaction retrains on.
   struct Telemetry {
     mutable std::mutex mu;
     QueryStats stats;
     uint64_t queries_run = 0;
     uint64_t empty_skipped = 0;
+    std::vector<Query> history;  ///< Ring of recent executed queries.
+    size_t history_next = 0;     ///< Ring write cursor.
+  };
+
+  /// The write side of the reader-writer seam, heap-held so Database
+  /// stays movable. `mu` shared-locks every query for its full duration
+  /// and exclusive-locks every write, so the (index_, delta) pair only
+  /// changes while no query is in flight.
+  struct WriteState {
+    explicit WriteState(size_t num_dims) : delta(num_dims) {}
+    mutable std::shared_mutex mu;
+    DeltaBuffer delta;
+    uint64_t compactions = 0;
+    /// Outcome of the most recent automatic compaction attempt; OK when
+    /// none has run yet.
+    Status last_auto_compact = Status::OK();
+    /// Backoff after a failed auto-compaction: don't retry (each attempt
+    /// is O(base rows) under the exclusive lock) until the delta has
+    /// grown to this many staged writes. 0 = no backoff pending.
+    size_t auto_compact_retry_at = 0;
   };
 
   /// Per-worker batch accumulator; folded into the BatchResult and the
@@ -245,23 +362,49 @@ class Database {
 
   /// Executes one aggregation query with no telemetry side effects;
   /// const and re-entrant (the unit of work RunBatch parallelizes).
+  /// Takes the shared side of the delta seam for its full duration.
   QueryResult ExecuteQuery(const Query& query) const;
 
+  /// As ExecuteQuery, but the caller already holds the delta seam
+  /// (either side) — the loop body of RunShard.
+  QueryResult ExecuteQueryLocked(const Query& query) const;
+
+  /// Folds the staged writes into an aggregate result: staged inserts
+  /// matching the predicate are added, tombstoned base matches are
+  /// subtracted. Caller holds the delta lock (either side).
+  void MergeDeltaAggregate(const Query& query, QueryResult* result) const;
+
+  /// Compaction core; caller holds the exclusive lock. `workload` nullptr
+  /// means "recorded history, then Open-time training workload".
+  Status CompactLocked(const Workload* workload);
+
+  /// Runs the auto_retrain_fraction policy after a write; caller holds
+  /// the exclusive lock.
+  void MaybeAutoCompactLocked();
+
   /// Runs queries[begin, end) into results[begin, end), accumulating into
-  /// `acc`. Each worker owns one disjoint shard and one accumulator, so
-  /// the hot path is synchronization-free.
+  /// `acc`. Each worker owns one disjoint shard and one accumulator, and
+  /// takes the shared side of the delta seam once for the whole shard, so
+  /// the per-query hot path is synchronization-free (writers wait for the
+  /// slowest in-flight shard).
   void RunShard(std::span<const Query> queries, size_t begin, size_t end,
                 QueryResult* results, ShardAccum* acc) const;
 
-  void RecordTelemetry(const QueryResult& result);
+  void RecordTelemetry(const Query& query, const QueryResult& result);
+
+  /// Appends one executed query to the history ring; caller holds the
+  /// telemetry mutex.
+  void RecordQueryLocked(const Query& query);
 
   DatabaseOptions options_;
   std::unique_ptr<MultiDimIndex> index_;
   std::string index_name_;
 
+  size_t num_dims_ = 0;
   size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  ///< Null when num_threads_ == 1.
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<WriteState> write_;
 };
 
 }  // namespace flood

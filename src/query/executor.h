@@ -20,9 +20,12 @@ struct AggResult {
 /// (some range inverted) return a zero result without touching the index.
 ///
 /// Compatibility shim: new code should go through flood::Database
-/// (api/database.h), which owns the index, adds batching, and returns
-/// typed results; this function remains for callers that manage a bare
-/// MultiDimIndex themselves.
+/// (api/database.h), which owns the index, adds batching, returns typed
+/// results, and — unlike this function — merges staged writes (DeltaBuffer
+/// inserts and tombstones) into every answer. This function sees only the
+/// built index, so results are stale the moment the owning Database has
+/// accepted an Insert/Delete; it remains for callers that manage a bare,
+/// read-only MultiDimIndex themselves (benches over frozen tables).
 AggResult ExecuteAggregate(const MultiDimIndex& index, const Query& query,
                            QueryStats* stats = nullptr);
 

@@ -1,0 +1,383 @@
+// Write path of the flood::Database facade (PR 4): DeltaBuffer-staged
+// Insert/InsertBatch/Delete merged into every query, compaction
+// (Compact/Retrain/auto_retrain_fraction), and the reader-writer seam
+// under concurrent writers and RunBatch readers (the TSan surface).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "api/index_registry.h"
+#include "tests/test_util.h"
+
+namespace flood {
+namespace {
+
+using testing::BruteForce;
+using testing::DataShape;
+using testing::MakeTable;
+using testing::RandomQuery;
+
+/// Rows of `table` as row-major tuples (InsertBatch / oracle input).
+std::vector<std::vector<Value>> RowsOf(const Table& table) {
+  std::vector<std::vector<Value>> rows(table.num_rows());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    rows[r].resize(table.num_dims());
+    for (size_t d = 0; d < table.num_dims(); ++d) {
+      rows[r][d] = table.Get(r, d);
+    }
+  }
+  return rows;
+}
+
+Table TableFromRows(const std::vector<std::vector<Value>>& rows) {
+  std::vector<std::vector<Value>> cols(rows.front().size());
+  for (const std::vector<Value>& row : rows) {
+    for (size_t d = 0; d < row.size(); ++d) cols[d].push_back(row[d]);
+  }
+  StatusOr<Table> t = Table::FromColumns(std::move(cols));
+  FLOOD_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+/// Sorted multiset of the *values* of the collected rows, resolved through
+/// GetRow — the id spaces of two databases differ (storage order, delta
+/// offsets), but the logical row multisets must match.
+std::vector<std::vector<Value>> CollectedTuples(Database& db,
+                                                const Query& q) {
+  const QueryResult r = db.Collect(q);
+  std::vector<std::vector<Value>> tuples;
+  tuples.reserve(r.rows.size());
+  for (RowId row : r.rows) tuples.push_back(db.GetRow(row));
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+// Acceptance criterion: insert-then-query returns identical results to
+// build-from-scratch on every registered index routed through the facade,
+// under both serial and num_threads=0 batch execution.
+TEST(DatabaseWriteTest, InsertThenQueryEqualsBuildFromScratchOnEveryIndex) {
+  const Table base = MakeTable(DataShape::kClustered, 2000, 3, 61);
+  const Table extra = MakeTable(DataShape::kUniform, 300, 3, 62);
+  const std::vector<std::vector<Value>> extra_rows = RowsOf(extra);
+
+  std::vector<std::vector<Value>> all_rows = RowsOf(base);
+  all_rows.insert(all_rows.end(), extra_rows.begin(), extra_rows.end());
+  const Table combined = TableFromRows(all_rows);
+
+  std::vector<Query> queries;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Query q = RandomQuery(combined, 7100 + seed * 3);
+    if (seed % 3 == 0) q.set_agg({AggSpec::Kind::kSum, 1});
+    queries.push_back(q);
+  }
+
+  for (const std::string& name : IndexRegistry::Global().Names()) {
+    for (const size_t num_threads : {size_t{1}, size_t{0}}) {
+      DatabaseOptions options;
+      options.index_name = name;
+      options.num_threads = num_threads;
+      StatusOr<Database> db = Database::Open(base, options);
+      ASSERT_TRUE(db.ok()) << name << ": " << db.status().ToString();
+      ASSERT_TRUE(db->InsertBatch(extra_rows).ok()) << name;
+      EXPECT_EQ(db->delta_inserts(), extra_rows.size()) << name;
+      EXPECT_EQ(db->num_rows(), combined.num_rows()) << name;
+
+      StatusOr<Database> scratch = Database::Open(combined, options);
+      ASSERT_TRUE(scratch.ok()) << name << ": "
+                                << scratch.status().ToString();
+
+      const BatchResult staged = db->RunBatch(queries);
+      const BatchResult rebuilt = scratch->RunBatch(queries);
+      ASSERT_TRUE(staged.status.ok()) << name;
+      ASSERT_TRUE(rebuilt.status.ok()) << name;
+      ASSERT_EQ(staged.results.size(), queries.size()) << name;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(staged.results[i].count, rebuilt.results[i].count)
+            << name << " t=" << num_threads << " #" << i << " "
+            << queries[i].ToString();
+        EXPECT_EQ(staged.results[i].sum, rebuilt.results[i].sum)
+            << name << " t=" << num_threads << " #" << i;
+      }
+      // Collect agrees on the logical row multiset.
+      const Query probe = RandomQuery(combined, 419);
+      EXPECT_EQ(CollectedTuples(*db, probe),
+                CollectedTuples(*scratch, probe))
+          << name << " t=" << num_threads;
+
+      // ... and the oracle agrees with both.
+      const testing::OracleResult oracle =
+          BruteForce(combined, queries[0], queries[0].agg().dim);
+      EXPECT_EQ(staged.results[0].count, oracle.count) << name;
+    }
+  }
+}
+
+TEST(DatabaseWriteTest, DeltaRowsScannedIsAccounted) {
+  const Table base = MakeTable(DataShape::kUniform, 1000, 2, 63);
+  StatusOr<Database> db =
+      Database::Open(base, DatabaseOptions{.index_name = "flood"});
+  ASSERT_TRUE(db.ok());
+  const Query q = QueryBuilder(2).Range(0, 0, kValueMax).Build();
+
+  // No staged writes: no delta scanning.
+  EXPECT_EQ(db->Run(q).stats.delta_rows_scanned, 0u);
+
+  ASSERT_TRUE(db->Insert({1, 2}).ok());
+  ASSERT_TRUE(db->Insert({3, 4}).ok());
+  const QueryResult r = db->Run(q);
+  EXPECT_EQ(r.stats.delta_rows_scanned, 2u);
+  EXPECT_EQ(r.count, base.num_rows() + 2);
+
+  // Tombstones are delta-side rows too.
+  const std::vector<Value> victim = db->GetRow(0);
+  StatusOr<size_t> deleted = db->Delete(victim);
+  ASSERT_TRUE(deleted.ok());
+  ASSERT_GE(*deleted, 1u);
+  const QueryResult r2 = db->Run(q);
+  EXPECT_EQ(r2.stats.delta_rows_scanned, 2u + db->delta_tombstones());
+  EXPECT_EQ(r2.count, base.num_rows() + 2 - *deleted);
+}
+
+TEST(DatabaseWriteTest, DeleteTombstonesBaseRowsAndErasesStagedInserts) {
+  const Table base = MakeTable(DataShape::kDuplicates, 1500, 2, 64);
+  StatusOr<Database> db =
+      Database::Open(base, DatabaseOptions{.index_name = "kdtree"});
+  ASSERT_TRUE(db.ok());
+
+  // A key with known duplicates in the base table.
+  const std::vector<Value> key = db->GetRow(5);
+  Query eq(2);
+  for (size_t d = 0; d < 2; ++d) eq.SetEquals(d, key[d]);
+  const uint64_t base_matches = db->Run(eq).count;
+  ASSERT_GE(base_matches, 1u);
+
+  // Stage two more copies, then delete the key entirely.
+  ASSERT_TRUE(db->Insert(key).ok());
+  ASSERT_TRUE(db->Insert(key).ok());
+  EXPECT_EQ(db->Run(eq).count, base_matches + 2);
+
+  StatusOr<size_t> deleted = db->Delete(key);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, base_matches + 2);
+  EXPECT_EQ(db->delta_inserts(), 0u);
+  EXPECT_EQ(db->delta_tombstones(), base_matches);
+  EXPECT_EQ(db->Run(eq).count, 0u);
+  EXPECT_TRUE(db->Collect(eq).rows.empty());
+  EXPECT_EQ(db->num_rows(), base.num_rows() - base_matches);
+
+  // Double delete is a no-op (tombstones refuse duplicates).
+  StatusOr<size_t> again = db->Delete(key);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_EQ(db->Run(eq).count, 0u);
+
+  // SUM subtracts the tombstoned rows' values.
+  Query sum_all = QueryBuilder(2).Sum(1).Build();
+  const Table remaining = [&] {
+    std::vector<std::vector<Value>> rows;
+    for (std::vector<Value>& row : RowsOf(base)) {
+      if (row != key) rows.push_back(std::move(row));
+    }
+    return TableFromRows(rows);
+  }();
+  EXPECT_EQ(db->Run(sum_all).sum, BruteForce(remaining, sum_all, 1).sum);
+}
+
+TEST(DatabaseWriteTest, CompactionEquivalence) {
+  const Table base = MakeTable(DataShape::kSkewed, 2500, 3, 65);
+  const Table extra = MakeTable(DataShape::kSkewed, 400, 3, 66);
+
+  DatabaseOptions options;
+  options.index_name = "flood";
+  StatusOr<Database> db = Database::Open(base, options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->InsertBatch(RowsOf(extra)).ok());
+  const std::vector<Value> victim = db->GetRow(3);
+  ASSERT_TRUE(db->Delete(victim).ok());
+
+  // Snapshot answers before compaction...
+  std::vector<Query> queries;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Query q = RandomQuery(base, 7300 + seed);
+    if (seed % 2 == 0) q.set_agg({AggSpec::Kind::kSum, 2});
+    queries.push_back(q);
+  }
+  const BatchResult before = db->RunBatch(queries);
+  ASSERT_TRUE(before.status.ok());
+  const size_t logical_rows = db->num_rows();
+
+  // ... compaction drains the delta into the base index ...
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_EQ(db->pending_writes(), 0u);
+  EXPECT_EQ(db->compactions(), 1u);
+  EXPECT_EQ(db->base_rows(), logical_rows);
+  EXPECT_EQ(db->num_rows(), logical_rows);
+
+  // ... and answers are unchanged, now without delta scanning.
+  const BatchResult after = db->RunBatch(queries);
+  ASSERT_TRUE(after.status.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(after.results[i].count, before.results[i].count) << i;
+    EXPECT_EQ(after.results[i].sum, before.results[i].sum) << i;
+    EXPECT_EQ(after.results[i].stats.delta_rows_scanned, 0u) << i;
+  }
+}
+
+TEST(DatabaseWriteTest, RetrainDrainsDeltaAndPreservesResults) {
+  const Table base = MakeTable(DataShape::kClustered, 3000, 3, 67);
+  StatusOr<Database> db =
+      Database::Open(base, DatabaseOptions{.index_name = "flood"});
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->Insert({1, 2, 3}).ok());
+  const Query q = RandomQuery(base, 808);
+  const uint64_t staged_count = db->Run(q).count;
+
+  Workload shifted;
+  Rng rng(68);
+  for (int i = 0; i < 20; ++i) {
+    const Value lo = rng.UniformInt(0, 900'000);
+    shifted.Add(QueryBuilder(3).Range(2, lo, lo + 10'000).Count().Build());
+  }
+  ASSERT_TRUE(db->Retrain(shifted).ok());
+  EXPECT_EQ(db->pending_writes(), 0u);
+  EXPECT_EQ(db->base_rows(), base.num_rows() + 1);
+  EXPECT_EQ(db->Run(q).count, staged_count);
+}
+
+TEST(DatabaseWriteTest, AutoRetrainCompactsPastThreshold) {
+  const Table base = MakeTable(DataShape::kUniform, 1000, 2, 69);
+  DatabaseOptions options;
+  options.index_name = "flood";
+  options.auto_retrain_fraction = 0.05;  // Compact past 50 staged rows.
+  StatusOr<Database> db = Database::Open(base, options);
+  ASSERT_TRUE(db.ok());
+
+  // Run some queries so compaction has a recorded workload to relearn on.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    (void)db->Run(RandomQuery(base, 7400 + seed));
+  }
+  EXPECT_EQ(db->RecordedWorkload().size(), 5u);
+
+  Rng rng(70);
+  size_t inserted = 0;
+  while (db->compactions() == 0 && inserted < 200) {
+    ASSERT_TRUE(
+        db->Insert({rng.UniformInt(0, 1'000'000), rng.UniformInt(0, 100)})
+            .ok());
+    ++inserted;
+  }
+  EXPECT_EQ(db->compactions(), 1u);
+  EXPECT_GT(inserted, 50u);
+  EXPECT_LE(inserted, 52u);  // Triggered right past the threshold.
+  EXPECT_EQ(db->pending_writes(), 0u);
+  EXPECT_EQ(db->base_rows(), base.num_rows() + inserted);
+
+  const Query q = QueryBuilder(2).Range(0, 0, kValueMax).Build();
+  EXPECT_EQ(db->Run(q).count, base.num_rows() + inserted);
+}
+
+TEST(DatabaseWriteTest, FailedAutoCompactionBacksOffAndSurfacesStatus) {
+  // 20 identical rows: deleting the key would compact to an empty table,
+  // so the triggered auto-compaction must fail, keep the staged writes
+  // (reads stay correct), surface its error, and back off.
+  const std::vector<std::vector<Value>> rows(20,
+                                             std::vector<Value>{7, 8});
+  const Table base = TableFromRows(rows);
+  DatabaseOptions options;
+  options.index_name = "full_scan";
+  options.auto_retrain_fraction = 0.1;
+  StatusOr<Database> db = Database::Open(base, options);
+  ASSERT_TRUE(db.ok());
+
+  StatusOr<size_t> deleted = db->Delete({7, 8});
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 20u);
+  EXPECT_EQ(db->compactions(), 0u);
+  EXPECT_EQ(db->delta_tombstones(), 20u);  // No write was lost.
+  EXPECT_EQ(db->last_auto_compact_status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->Run(QueryBuilder(2).Count().Build()).count, 0u);
+
+  // The next write doesn't pay another O(base) attempt (backoff), but an
+  // explicit Compact of the now non-empty logical table drains fine.
+  ASSERT_TRUE(db->Insert({1, 2}).ok());
+  EXPECT_EQ(db->compactions(), 0u);
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_EQ(db->pending_writes(), 0u);
+  EXPECT_EQ(db->num_rows(), 1u);
+  EXPECT_EQ(db->Run(QueryBuilder(2).Count().Build()).count, 1u);
+}
+
+TEST(DatabaseWriteTest, WriteArityMismatchIsACleanError) {
+  const Table base = MakeTable(DataShape::kUniform, 500, 3, 71);
+  StatusOr<Database> db =
+      Database::Open(base, DatabaseOptions{.index_name = "full_scan"});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->Insert({1, 2}).code(), StatusCode::kInvalidArgument);
+  const std::vector<std::vector<Value>> ragged = {{1, 2, 3}, {4, 5}};
+  EXPECT_EQ(db->InsertBatch(ragged).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->Delete({1}).status().code(), StatusCode::kInvalidArgument);
+  // Nothing was staged by the failed calls.
+  EXPECT_EQ(db->pending_writes(), 0u);
+}
+
+// TSan surface: concurrent writers (Insert + Delete) against RunBatch
+// readers on the delta seam. Correctness bound: every query observes a
+// count between the initial and final row counts, and after the writers
+// join, the facade agrees with a from-scratch oracle.
+TEST(DatabaseWriteTest, ConcurrentInsertAndRunBatchIsSafe) {
+  const Table base = MakeTable(DataShape::kUniform, 2000, 2, 72);
+  DatabaseOptions options;
+  options.index_name = "flood";
+  options.num_threads = 2;  // RunBatch itself fans out.
+  StatusOr<Database> db = Database::Open(base, options);
+  ASSERT_TRUE(db.ok());
+
+  constexpr size_t kInserts = 300;
+  const Table extra = MakeTable(DataShape::kUniform, kInserts, 2, 73);
+  const std::vector<std::vector<Value>> extra_rows = RowsOf(extra);
+
+  const Query all = QueryBuilder(2).Range(0, 0, kValueMax).Build();
+  std::vector<Query> batch(8, all);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (const std::vector<Value>& row : extra_rows) {
+      FLOOD_CHECK(db->Insert(row).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  uint64_t last = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const BatchResult r = db->RunBatch(batch);
+    ASSERT_TRUE(r.status.ok());
+    for (const QueryResult& qr : r.results) {
+      // Monotone under insert-only writes; never past the final count.
+      EXPECT_GE(qr.count, base.num_rows());
+      EXPECT_LE(qr.count, base.num_rows() + kInserts);
+      EXPECT_GE(qr.count, last);
+    }
+    last = r.results.back().count;
+  }
+  writer.join();
+  EXPECT_EQ(db->Run(all).count, base.num_rows() + kInserts);
+
+  // A concurrent Compact against readers is also clean.
+  std::thread compactor([&] { FLOOD_CHECK(db->Compact().ok()); });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(db->Run(all).count, base.num_rows() + kInserts);
+  }
+  compactor.join();
+  EXPECT_EQ(db->pending_writes(), 0u);
+  EXPECT_EQ(db->Run(all).count, base.num_rows() + kInserts);
+}
+
+}  // namespace
+}  // namespace flood

@@ -47,6 +47,69 @@ TEST(DeltaBufferTest, MergeIntoProducesCombinedTable) {
   EXPECT_EQ(buffer.size(), 0u);  // Cleared after merge.
 }
 
+TEST(DeltaBufferTest, EraseMatchingRemovesFullTupleEqualRows) {
+  DeltaBuffer buffer(2);
+  ASSERT_TRUE(buffer.Insert({1, 10}).ok());
+  ASSERT_TRUE(buffer.Insert({2, 20}).ok());
+  ASSERT_TRUE(buffer.Insert({1, 10}).ok());
+  ASSERT_TRUE(buffer.Insert({1, 99}).ok());  // Same key dim, other value.
+  EXPECT_EQ(buffer.EraseMatching({1, 10}), 2u);
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.Get(0, 0), 2);
+  EXPECT_EQ(buffer.Get(1, 1), 99);  // Survivors keep their order.
+  EXPECT_EQ(buffer.EraseMatching({7, 7}), 0u);
+  EXPECT_EQ(buffer.EraseMatching({1, 10, 3}), 0u);  // Arity mismatch.
+}
+
+TEST(DeltaBufferTest, TombstonesRefuseDuplicates) {
+  DeltaBuffer buffer(2);
+  EXPECT_TRUE(buffer.AddTombstone(7));
+  EXPECT_FALSE(buffer.AddTombstone(7));
+  EXPECT_TRUE(buffer.AddTombstone(3));
+  EXPECT_TRUE(buffer.IsTombstoned(7));
+  EXPECT_FALSE(buffer.IsTombstoned(8));
+  EXPECT_EQ(buffer.num_tombstones(), 2u);
+  EXPECT_EQ(buffer.pending(), 2u);
+  ASSERT_TRUE(buffer.Insert({1, 2}).ok());
+  EXPECT_EQ(buffer.pending(), 3u);
+}
+
+TEST(DeltaBufferTest, MaterializeDropsTombstonesAndKeepsBuffer) {
+  StatusOr<Table> main = Table::FromColumns({{1, 2, 3, 4}, {10, 20, 30, 40}});
+  ASSERT_TRUE(main.ok());
+  DeltaBuffer buffer(2);
+  ASSERT_TRUE(buffer.Insert({5, 50}).ok());
+  ASSERT_TRUE(buffer.AddTombstone(1));  // Drops row (2, 20).
+  StatusOr<Table> merged = buffer.Materialize(*main);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 4u);  // 4 base - 1 tombstone + 1 insert.
+  EXPECT_EQ(merged->Get(0, 0), 1);
+  EXPECT_EQ(merged->Get(1, 0), 3);  // Row 1 was tombstoned away.
+  EXPECT_EQ(merged->Get(3, 0), 5);
+  EXPECT_EQ(merged->Get(3, 1), 50);
+  // Materialize is non-destructive: a failed rebuild loses no writes.
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.num_tombstones(), 1u);
+
+  // A tombstone past the base table is rejected.
+  ASSERT_TRUE(buffer.AddTombstone(99));
+  EXPECT_FALSE(buffer.Materialize(*main).ok());
+}
+
+TEST(DeltaBufferTest, ScanAccountsDeltaRowsScanned) {
+  DeltaBuffer buffer(1);
+  ASSERT_TRUE(buffer.Insert({5}).ok());
+  ASSERT_TRUE(buffer.Insert({15}).ok());
+  Query q = QueryBuilder(1).Range(0, 0, 10).Build();
+  CountVisitor v;
+  QueryStats stats;
+  buffer.Scan(q, v, 0, &stats);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_EQ(stats.delta_rows_scanned, 2u);
+  EXPECT_EQ(stats.points_scanned, 2u);
+  EXPECT_EQ(stats.points_matched, 1u);
+}
+
 TEST(DeltaBufferTest, InsertsVisibleThroughCombinedQueryPath) {
   // End-to-end §8 pattern: main FloodIndex + buffer, then merge + rebuild.
   const Table t = testing::MakeTable(testing::DataShape::kUniform, 2000, 2,

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares a freshly-measured google-benchmark JSON report against a
+committed baseline (bench/baselines/BENCH_*.json) and fails when any
+benchmark's throughput metric regressed by more than --max-regression
+(default 25%).
+
+Metric selection per benchmark, in order:
+  1. the `rows_per_s` counter (bench_scan_kernel) — higher is better;
+  2. the `qps` counter (bench_throughput) — higher is better;
+  3. `real_time` — lower is better.
+
+Benchmarks present on only one side are reported but do not fail the gate
+(bench matrices legitimately grow/shrink with hardware, e.g. the thread
+sweep); pass --require-all to make them fatal.
+
+Typical use:
+
+  # CI gate:
+  python3 tools/check_bench_regression.py \
+      --baseline bench/baselines/BENCH_scan_kernel.json \
+      --current bench_scan_kernel.json
+
+  # Refresh the committed baseline after an intentional perf change or a
+  # runner-hardware change (then commit the result):
+  python3 tools/check_bench_regression.py \
+      --baseline bench/baselines/BENCH_scan_kernel.json \
+      --current bench_scan_kernel.json --update
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_context(path):
+    with open(path) as f:
+        return json.load(f).get("context", {})
+
+
+def check_context_mismatch(baseline_path, current_path):
+    """A baseline measured on different hardware (or a different build
+    flavor) makes absolute-throughput ratios meaningless: a slow-host
+    baseline lets real regressions sail through, a fast-host baseline
+    fails good code. Returns the mismatched keys so the caller can fail
+    the gate (--require-same-context, what CI uses — a dead gate that
+    can never fire is worse than a red one demanding a baseline
+    refresh)."""
+    base_ctx = load_context(baseline_path)
+    cur_ctx = load_context(current_path)
+    mismatched = []
+    # mhz_per_cpu rotates with the runner fleet's hardware generation, so
+    # it only warns; the structural keys are fatal under
+    # --require-same-context.
+    for key, fatal in (("num_cpus", True), ("library_build_type", True),
+                       ("mhz_per_cpu", False)):
+        b, c = base_ctx.get(key), cur_ctx.get(key)
+        if b is not None and c is not None and b != c:
+            if fatal:
+                mismatched.append(key)
+            print(f"WARNING: baseline/current context mismatch on "
+                  f"'{key}': {b} vs {c} — absolute throughput is not "
+                  "comparable; refresh the baseline with --update from a "
+                  "run on the gating environment")
+    return mismatched
+
+
+def load_benchmarks(path):
+    """Returns {name: (metric_name, value, higher_is_better)}."""
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name")
+        if name is None or bench.get("run_type") == "aggregate":
+            continue
+        if "rows_per_s" in bench:
+            out[name] = ("rows_per_s", float(bench["rows_per_s"]), True)
+        elif "qps" in bench:
+            out[name] = ("qps", float(bench["qps"]), True)
+        elif "real_time" in bench:
+            out[name] = ("real_time", float(bench["real_time"]), False)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured JSON")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when metric worsens by more than this "
+                             "fraction (default 0.25)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when benchmark sets differ")
+    parser.add_argument("--require-same-context", action="store_true",
+                        help="fail when the baseline was measured on "
+                             "different hardware or build flavor (instead "
+                             "of comparing meaningless ratios)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy --current over --baseline and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current}")
+        return 0
+
+    mismatched = check_context_mismatch(args.baseline, args.current)
+    if mismatched and args.require_same_context:
+        print(f"FAIL: benchmark context mismatch ({', '.join(mismatched)}) "
+              "— the committed baseline does not describe this "
+              "environment. Refresh it: rerun the bench here, then "
+              "check_bench_regression.py --update (CI uploads the fresh "
+              "JSON as an artifact for exactly this).")
+        return 1
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("FAIL: no benchmarks in common between baseline and current")
+        return 1
+
+    failures = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'metric':>10}  {'baseline':>12}  "
+          f"{'current':>12}  {'ratio':>7}")
+    for name in common:
+        metric, base_value, higher_better = baseline[name]
+        cur_metric, cur_value, _ = current[name]
+        if cur_metric != metric or base_value <= 0 or cur_value <= 0:
+            print(f"{name:<{width}}  (skipped: metric mismatch or "
+                  "non-positive value)")
+            continue
+        # Normalize so ratio > 1 always means "got better".
+        ratio = (cur_value / base_value) if higher_better \
+            else (base_value / cur_value)
+        flag = ""
+        if ratio < 1.0 - args.max_regression:
+            flag = "  << REGRESSION"
+            failures.append((name, metric, base_value, cur_value, ratio))
+        print(f"{name:<{width}}  {metric:>10}  {base_value:>12.4g}  "
+              f"{cur_value:>12.4g}  {ratio:>6.2f}x{flag}")
+
+    for name in missing:
+        print(f"WARNING: in baseline only: {name}")
+    for name in added:
+        print(f"NOTE: new benchmark (no baseline): {name}")
+
+    if args.require_all and missing:
+        print(f"FAIL: {len(missing)} baseline benchmark(s) missing from "
+              "the current run")
+        return 1
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.max_regression:.0%}:")
+        for name, metric, base_value, cur_value, ratio in failures:
+            print(f"  {name}: {metric} {base_value:.4g} -> {cur_value:.4g} "
+                  f"({ratio:.2f}x)")
+        print("If intentional (or the runner hardware changed), refresh "
+              "with --update and commit the new baseline.")
+        return 1
+    print(f"\nOK: {len(common)} benchmark(s) within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
