@@ -1,10 +1,12 @@
 #include "api/database.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "api/index_registry.h"
 #include "common/timer.h"
+#include "persist/snapshot.h"
 #include "query/executor.h"
 #include "query/visitor.h"
 
@@ -48,6 +50,72 @@ StatusOr<Database> Database::Open(const Table& table,
                         : db.options_.num_threads;
   if (db.num_threads_ > 1) {
     db.pool_ = std::make_unique<ThreadPool>(db.num_threads_);
+  }
+  if (!db.options_.wal_path.empty()) {
+    // Fresh-table open at epoch 0: an existing log at this path (same
+    // table, previous run, never snapshotted) is replayed; a log from a
+    // later checkpoint is rejected (open from that snapshot instead).
+    const std::string wal_path = std::move(db.options_.wal_path);
+    db.options_.wal_path.clear();
+    FLOOD_RETURN_IF_ERROR(db.AttachWal(wal_path));
+  }
+  return db;
+}
+
+StatusOr<Database> Database::Open(const std::string& snapshot_path,
+                                  DatabaseOptions options) {
+  StatusOr<persist::SnapshotData> snap = persist::ReadSnapshot(snapshot_path);
+  if (!snap.ok()) return snap.status();
+
+  // Structural knobs come from the snapshot; caller-set index_options keys
+  // override individually, runtime knobs (threads, WAL, compaction policy)
+  // stay the caller's.
+  // `runtime_options` is what the database keeps for future rebuilds
+  // (Compact/Retrain must stay free to RElearn the layout); `build_options`
+  // additionally pins the snapshot's learned layout so this one Build
+  // skips the optimizer. A layout the caller pinned explicitly lands in
+  // both via the override loop.
+  IndexOptions runtime_options;
+  for (const auto& [key, value] : snap->index_options) {
+    runtime_options.Set(key, value);
+  }
+  for (const std::string& key : options.index_options.Keys()) {
+    runtime_options.Set(key, *options.index_options.Get(key));
+  }
+  IndexOptions build_options = runtime_options;
+  if (!snap->layout.empty() && !options.index_options.Has("layout")) {
+    build_options.Set("layout", snap->layout);
+  }
+  options.index_name = snap->index_name;
+  options.index_options = std::move(build_options);
+  options.sample_size = static_cast<size_t>(snap->sample_size);
+  options.sample_seed = snap->sample_seed;
+  if (!options.training_workload.has_value() && snap->workload.has_value()) {
+    options.training_workload = std::move(snap->workload);
+  }
+  std::string wal_path = std::move(options.wal_path);
+  options.wal_path.clear();
+
+  StatusOr<Database> db = Open(snap->base, std::move(options));
+  if (!db.ok()) return db.status();
+  // Drop the injected pin: the *next* compaction relearns the layout from
+  // the recorded/training workload like any cold-opened database would.
+  db->options_.index_options = std::move(runtime_options);
+
+  // Restore the staged delta. Inserts are replayed verbatim; tombstones
+  // were stored as distinct key tuples and are re-resolved against the
+  // rebuilt index (Delete(key) tombstoned *every* base match, so the key
+  // set reproduces the exact tombstone set in any deterministic rebuild).
+  for (const std::vector<Value>& row : snap->delta_inserts) {
+    FLOOD_RETURN_IF_ERROR(db->write_->delta.Insert(row));
+  }
+  for (const std::vector<Value>& key : snap->tombstone_keys) {
+    (void)db->TombstoneKeyLocked(key);
+  }
+  db->write_->snapshot_path = snapshot_path;
+  db->write_->epoch = snap->epoch;
+  if (!wal_path.empty()) {
+    FLOOD_RETURN_IF_ERROR(db->AttachWal(wal_path));
   }
   return db;
 }
@@ -296,6 +364,12 @@ Status Database::Insert(const std::vector<Value>& row) {
         std::to_string(num_dims_) + " dims");
   }
   std::unique_lock<std::shared_mutex> lock(write_->mu);
+  FLOOD_RETURN_IF_ERROR(write_->wal_error);
+  if (write_->wal != nullptr) {
+    // Log-before-mutate: a WAL failure acknowledges (and stages) nothing.
+    write_->wal->AppendInsert(row);
+    FLOOD_RETURN_IF_ERROR(write_->wal->Commit());
+  }
   FLOOD_RETURN_IF_ERROR(write_->delta.Insert(row));
   MaybeAutoCompactLocked();
   return Status::OK();
@@ -311,6 +385,15 @@ Status Database::InsertBatch(std::span<const std::vector<Value>> rows) {
     }
   }
   std::unique_lock<std::shared_mutex> lock(write_->mu);
+  FLOOD_RETURN_IF_ERROR(write_->wal_error);
+  if (write_->wal != nullptr) {
+    // Group commit: the whole batch rides one write() (+ one fsync under
+    // Durability::kSync) before any row is staged.
+    for (const std::vector<Value>& row : rows) {
+      write_->wal->AppendInsert(row);
+    }
+    FLOOD_RETURN_IF_ERROR(write_->wal->Commit());
+  }
   for (const std::vector<Value>& row : rows) {
     FLOOD_RETURN_IF_ERROR(write_->delta.Insert(row));
   }
@@ -325,7 +408,18 @@ StatusOr<size_t> Database::Delete(const std::vector<Value>& key) {
         std::to_string(num_dims_) + " dims");
   }
   std::unique_lock<std::shared_mutex> lock(write_->mu);
+  if (!write_->wal_error.ok()) return write_->wal_error;
+  if (write_->wal != nullptr) {
+    write_->wal->AppendDelete(key);
+    FLOOD_RETURN_IF_ERROR(write_->wal->Commit());
+  }
   size_t deleted = write_->delta.EraseMatching(key);
+  deleted += TombstoneKeyLocked(key);
+  MaybeAutoCompactLocked();
+  return deleted;
+}
+
+size_t Database::TombstoneKeyLocked(const std::vector<Value>& key) {
   // Tombstone every base row equal to the key, located with an exact-match
   // query through the (immutable) index. AddTombstone refuses duplicates,
   // so deleting the same key twice cannot subtract a base match twice.
@@ -333,11 +427,11 @@ StatusOr<size_t> Database::Delete(const std::vector<Value>& key) {
   for (size_t dim = 0; dim < num_dims_; ++dim) probe.SetEquals(dim, key[dim]);
   CollectVisitor visitor;
   index_->Execute(probe, visitor, nullptr);
+  size_t added = 0;
   for (RowId r : visitor.rows()) {
-    if (write_->delta.AddTombstone(r)) ++deleted;
+    if (write_->delta.AddTombstone(r)) ++added;
   }
-  MaybeAutoCompactLocked();
-  return deleted;
+  return added;
 }
 
 Status Database::CompactLocked(const Workload* workload) {
@@ -379,6 +473,137 @@ Status Database::CompactLocked(const Workload* workload) {
   }
   ++write_->compactions;
   write_->auto_compact_retry_at = 0;  // A success clears any backoff.
+  if (!write_->snapshot_path.empty()) {
+    // Checkpoint: re-snapshot the compacted state, then truncate the WAL.
+    // A failure here surfaces but loses nothing — compaction is logically
+    // invisible, so the previous snapshot plus the untruncated WAL still
+    // reproduce the exact logical state.
+    FLOOD_RETURN_IF_ERROR(SaveLocked(write_->snapshot_path));
+  }
+  return Status::OK();
+}
+
+Status Database::SaveLocked(const std::string& path) {
+  persist::SnapshotContents contents;
+  contents.epoch = write_->epoch + 1;
+  contents.index_name = index_name_;
+  for (const std::string& key : options_.index_options.Keys()) {
+    contents.index_options.emplace_back(key, *options_.index_options.Get(key));
+  }
+  contents.layout = index_->SerializedLayout();
+  contents.index_properties = index_->DebugProperties();
+  contents.sample_size = options_.sample_size;
+  contents.sample_seed = options_.sample_seed;
+  const Table& base = index_->data();
+  contents.base = &base;
+  contents.workload = options_.training_workload.has_value()
+                          ? &*options_.training_workload
+                          : nullptr;
+  const DeltaBuffer& delta = write_->delta;
+  contents.delta_inserts.reserve(delta.size());
+  for (size_t i = 0; i < delta.size(); ++i) {
+    std::vector<Value> row(num_dims_);
+    for (size_t d = 0; d < num_dims_; ++d) row[d] = delta.Get(i, d);
+    contents.delta_inserts.push_back(std::move(row));
+  }
+  // Tombstones travel as distinct key tuples, not row ids: Delete(key)
+  // tombstoned every base match, so the key set identifies the same rows
+  // in any deterministic rebuild order of the restored table.
+  for (RowId r : delta.tombstones()) {
+    std::vector<Value> key(num_dims_);
+    for (size_t d = 0; d < num_dims_; ++d) key[d] = base.Get(r, d);
+    contents.tombstone_keys.push_back(std::move(key));
+  }
+  std::sort(contents.tombstone_keys.begin(), contents.tombstone_keys.end());
+  contents.tombstone_keys.erase(
+      std::unique(contents.tombstone_keys.begin(),
+                  contents.tombstone_keys.end()),
+      contents.tombstone_keys.end());
+
+  FLOOD_RETURN_IF_ERROR(persist::WriteSnapshot(path, contents));
+  // The snapshot is durable: advance the checkpoint and fold the WAL into
+  // it. A crash (or failure) between these two steps is safe — the WAL is
+  // then stale (lower epoch) and discarded on the next open, because its
+  // records are inside the snapshot just written.
+  write_->epoch = contents.epoch;
+  write_->snapshot_path = path;
+  if (write_->wal != nullptr) {
+    const Status reset = write_->wal->Reset(write_->epoch);
+    if (!reset.ok()) {
+      // The on-disk log no longer pairs with the snapshot just written:
+      // its lower-epoch records would be discarded by recovery, so any
+      // further acknowledgement through it would be a lie. Detach the
+      // writer and refuse writes until a reopen re-establishes the pair.
+      write_->wal.reset();
+      write_->wal_error = Status::Internal(
+          "wal detached: checkpoint truncation failed (" + reset.message() +
+          "); writes are refused so no acknowledged record can be lost — "
+          "reopen from " + path + " to recover");
+      return write_->wal_error;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Save(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(write_->mu);
+  return SaveLocked(path);
+}
+
+Status Database::ApplyWalRecordLocked(const persist::WalRecord& record) {
+  if (record.values.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "wal record has " + std::to_string(record.values.size()) +
+        " values, table has " + std::to_string(num_dims_) +
+        " dims (is this the right log for this database?)");
+  }
+  if (record.type == persist::WalRecordType::kInsert) {
+    return write_->delta.Insert(record.values);
+  }
+  (void)write_->delta.EraseMatching(record.values);
+  (void)TombstoneKeyLocked(record.values);
+  return Status::OK();
+}
+
+Status Database::AttachWal(const std::string& path) {
+  const bool sync = options_.durability == Durability::kSync;
+  StatusOr<persist::WalContents> contents = persist::ReadWal(path);
+  if (!contents.ok() &&
+      contents.status().code() != StatusCode::kNotFound) {
+    return contents.status();
+  }
+  if (contents.ok() && contents->epoch > write_->epoch) {
+    return Status::FailedPrecondition(
+        "wal " + path + " is at checkpoint epoch " +
+        std::to_string(contents->epoch) + ", ahead of this database (epoch " +
+        std::to_string(write_->epoch) +
+        "); open from the latest snapshot instead");
+  }
+  if (contents.ok() && contents->epoch == write_->epoch) {
+    // The log extends the current state: replay the intact records, chop
+    // any torn tail (bytes of a commit that never returned), and append
+    // after it.
+    for (const persist::WalRecord& record : contents->records) {
+      FLOOD_RETURN_IF_ERROR(ApplyWalRecordLocked(record));
+    }
+    if (contents->torn_tail) {
+      FLOOD_RETURN_IF_ERROR(persist::TruncateWal(path, contents->valid_bytes));
+    }
+    StatusOr<persist::WalWriter> writer = persist::WalWriter::Append(
+        path, contents->epoch, sync, contents->valid_bytes);
+    if (!writer.ok()) return writer.status();
+    write_->wal =
+        std::make_unique<persist::WalWriter>(std::move(*writer));
+  } else {
+    // Missing — or stale (lower epoch): those records are already folded
+    // into the snapshot this database was opened from. Start fresh.
+    StatusOr<persist::WalWriter> writer =
+        persist::WalWriter::Create(path, write_->epoch, sync);
+    if (!writer.ok()) return writer.status();
+    write_->wal =
+        std::make_unique<persist::WalWriter>(std::move(*writer));
+  }
+  options_.wal_path = path;
   return Status::OK();
 }
 
@@ -408,9 +633,21 @@ Status Database::Compact() {
 
 Status Database::Retrain(const Workload& workload) {
   std::unique_lock<std::shared_mutex> lock(write_->mu);
-  FLOOD_RETURN_IF_ERROR(CompactLocked(&workload));
+  // Adopt the new workload *before* compacting: CompactLocked's checkpoint
+  // snapshots options_.training_workload, and persisting the old one next
+  // to the freshly retrained layout would silently revert the layout at
+  // the first post-restore compaction.
+  std::optional<Workload> previous = std::move(options_.training_workload);
   options_.training_workload = workload;
-  return Status::OK();
+  const uint64_t compactions_before = write_->compactions;
+  const Status status = CompactLocked(&workload);
+  if (!status.ok() && write_->compactions == compactions_before) {
+    // The rebuild itself failed (nothing swapped): restore the previous
+    // fallback workload too. If only the checkpoint step failed, the live
+    // index IS retrained, so the new workload stays.
+    options_.training_workload = std::move(previous);
+  }
+  return status;
 }
 
 // --- Introspection --------------------------------------------------------
@@ -480,6 +717,26 @@ uint64_t Database::compactions() const {
 Status Database::last_auto_compact_status() const {
   std::shared_lock<std::shared_mutex> lock(write_->mu);
   return write_->last_auto_compact;
+}
+
+uint64_t Database::persist_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->epoch;
+}
+
+std::string Database::snapshot_path() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->snapshot_path;
+}
+
+bool Database::wal_attached() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->wal != nullptr;
+}
+
+uint64_t Database::wal_records_committed() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  return write_->wal != nullptr ? write_->wal->records_committed() : 0;
 }
 
 StatusOr<std::vector<Value>> Database::TryGetRow(RowId row) const {

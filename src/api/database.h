@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/delta_buffer.h"
+#include "persist/wal.h"
 #include "query/multidim_index.h"
 #include "query/query.h"
 #include "query/query_stats.h"
@@ -92,6 +93,18 @@ struct BatchResult {
   }
 };
 
+/// How durable an acknowledged write is when a WAL is configured
+/// (DatabaseOptions::wal_path).
+enum class Durability {
+  /// One write() per commit, no fsync: acknowledged writes survive
+  /// process death (crash, SIGKILL) but not OS/power failure.
+  kAsync,
+  /// write() + fsync() per commit: acknowledged writes also survive
+  /// OS/power failure. Group commit keeps this to one fsync per
+  /// Insert/InsertBatch/Delete call, not per record.
+  kSync,
+};
+
 /// How Database::Open builds its index and executes batches.
 struct DatabaseOptions {
   /// Registry key ("flood", "kdtree", "rtree", "grid_file", "zorder",
@@ -126,6 +139,15 @@ struct DatabaseOptions {
   /// retrains on (most recent executed queries win). 0 disables recording,
   /// so compaction falls back to the Open-time training workload.
   size_t workload_history = 256;
+  /// Write-ahead log for durable writes ("" = none). Every
+  /// Insert/InsertBatch/Delete appends its records here *before* mutating
+  /// the delta buffer; on reopen (same table, or the pairing snapshot) the
+  /// intact tail is replayed, so no acknowledged write is lost. An
+  /// existing file at this path is validated against the database's
+  /// checkpoint epoch — see src/persist/README.md for the recovery rules.
+  std::string wal_path;
+  /// Crash-durability level of WAL commits (meaningless without wal_path).
+  Durability durability = Durability::kAsync;
 };
 
 /// The front door of the library: owns a table and one index over it, and
@@ -168,6 +190,23 @@ class Database {
   static StatusOr<Database> Open(const Table& table,
                                  DatabaseOptions options = {});
 
+  /// Opens a database from a snapshot written by Save(): restores the
+  /// base table (bit-exact column pages, index storage order), rebuilds
+  /// the index with the snapshot's *pinned layout* — skipping the layout
+  /// optimizer, the expensive part of a cold Open — restores the staged
+  /// delta, and (with options.wal_path) replays the WAL tail.
+  ///
+  /// Structural knobs come from the snapshot: index_name, index_options
+  /// (caller-set keys override individually), the layout, sample
+  /// size/seed, and the training workload (unless the caller passes one).
+  /// Runtime knobs come from `options`: num_threads, wal_path, durability,
+  /// auto_retrain_fraction, workload_history.
+  ///
+  /// `path` becomes this database's checkpoint target: Compact()/Retrain()
+  /// (and auto-compaction) re-snapshot it and truncate the WAL.
+  static StatusOr<Database> Open(const std::string& snapshot_path,
+                                 DatabaseOptions options = {});
+
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
   Database(const Database&) = delete;
@@ -204,17 +243,43 @@ class Database {
   BatchResult RunBatch(std::span<const Query> queries);
   BatchResult RunBatch(const Workload& workload);
 
+  // --- Persistence --------------------------------------------------------
+
+  /// Writes a snapshot of the full logical state (base table in storage
+  /// order, learned layout + build knobs, staged delta) to `path`,
+  /// atomically — a crash mid-save leaves any previous snapshot intact.
+  /// On success `path` becomes the checkpoint target for future
+  /// compactions and, when a WAL is attached, the WAL is truncated (its
+  /// records are folded into the snapshot). Open(path) restores without
+  /// re-running the optimizer. Blocks writers and readers for the
+  /// duration (exclusive side of the delta seam).
+  Status Save(const std::string& path);
+
+  /// Checkpoint epoch pairing this database with its snapshot/WAL files
+  /// (bumped by every successful Save / checkpointing compaction).
+  uint64_t persist_epoch() const;
+  /// The checkpoint target ("" until Save() or Open(path)).
+  std::string snapshot_path() const;
+  /// True when a WAL is attached and acknowledging writes.
+  bool wal_attached() const;
+  /// Records appended + committed through this database's WAL (excludes
+  /// records replayed at open).
+  uint64_t wal_records_committed() const;
+
   // --- Writes -------------------------------------------------------------
 
   /// Stages one row (`row` must have num_dims() values) in the delta
-  /// buffer; visible to every subsequent query. May trigger an automatic
-  /// compaction (see DatabaseOptions::auto_retrain_fraction); a failed
-  /// auto-compaction keeps the staged writes (reads stay correct) and is
-  /// retried at the next threshold crossing.
+  /// buffer; visible to every subsequent query. With a WAL attached, the
+  /// row is appended and committed to the log *before* the delta mutates;
+  /// a WAL failure returns the error and stages nothing. May trigger an
+  /// automatic compaction (see DatabaseOptions::auto_retrain_fraction); a
+  /// failed auto-compaction keeps the staged writes (reads stay correct)
+  /// and is retried at the next threshold crossing.
   Status Insert(const std::vector<Value>& row);
 
   /// Stages many rows under one exclusive-lock acquisition; the
-  /// auto-retrain policy is evaluated once at the end of the batch.
+  /// auto-retrain policy is evaluated once at the end of the batch, and a
+  /// WAL commits the whole batch as one group (one write/fsync).
   Status InsertBatch(std::span<const std::vector<Value>> rows);
 
   /// Deletes every row equal to `key` (full-tuple equality): staged
@@ -228,6 +293,12 @@ class Database {
   /// workload), rebuilds the index, and swaps it in. No-op writes-wise
   /// when nothing is staged (still relearns). On failure the old index
   /// AND the staged writes are left in place — no write is ever lost.
+  ///
+  /// With a snapshot path configured (Save() succeeded or Open(path)),
+  /// a successful compaction is also the WAL truncation point: the fresh
+  /// state is re-snapshotted and the log reset. A *failed* snapshot
+  /// surfaces its error but loses nothing — the previous snapshot + the
+  /// untruncated WAL still reproduce the exact logical state.
   Status Compact();
 
   /// Compaction with an explicit new training workload (layout drift,
@@ -329,6 +400,17 @@ class Database {
     explicit WriteState(size_t num_dims) : delta(num_dims) {}
     mutable std::shared_mutex mu;
     DeltaBuffer delta;
+    /// Durability state (see src/persist/README.md): the WAL acknowledging
+    /// writes (null = none), the checkpoint snapshot target ("" until a
+    /// Save/Open(path)), and the epoch pairing snapshot and WAL files.
+    std::unique_ptr<persist::WalWriter> wal;
+    std::string snapshot_path;
+    uint64_t epoch = 0;
+    /// Non-OK after a checkpoint failed to truncate the WAL: the log on
+    /// disk no longer pairs with the snapshot epoch, so writes are
+    /// refused (instead of acknowledging records recovery would discard)
+    /// until the database is reopened from the fresh snapshot.
+    Status wal_error = Status::OK();
     uint64_t compactions = 0;
     /// Outcome of the most recent automatic compaction attempt; OK when
     /// none has run yet.
@@ -377,6 +459,22 @@ class Database {
   /// Compaction core; caller holds the exclusive lock. `workload` nullptr
   /// means "recorded history, then Open-time training workload".
   Status CompactLocked(const Workload* workload);
+
+  /// Snapshot + WAL-truncate checkpoint; caller holds the exclusive lock.
+  Status SaveLocked(const std::string& path);
+
+  /// Opens/validates/replays options_.wal_path against the current epoch
+  /// and attaches the writer; exclusive access assumed (called from Open).
+  Status AttachWal(const std::string& path);
+
+  /// Applies one replayed WAL record to the delta; exclusive access
+  /// assumed.
+  Status ApplyWalRecordLocked(const persist::WalRecord& record);
+
+  /// Tombstones every base row equal to `key` (exact-match probe through
+  /// the immutable index); returns how many were newly tombstoned. Caller
+  /// holds the exclusive lock.
+  size_t TombstoneKeyLocked(const std::vector<Value>& key);
 
   /// Runs the auto_retrain_fraction policy after a write; caller holds
   /// the exclusive lock.

@@ -222,6 +222,9 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
 
   InlineVec<ScanTask, 128> tasks;
   int64_t refine_ns = 0;
+  uint64_t zone_pruned_blocks = 0;
+  const Column* sort_col =
+      sort_filtered ? &data_.column(layout_.sort_dim()) : nullptr;
 
   // Odometer over the outer grid dimensions [0, k-1); the innermost
   // dimension is emitted as up to three segments (boundary / merged
@@ -285,6 +288,26 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
           const size_t begin = offsets_[c];
           const size_t end = offsets_[c + 1];
           if (begin == end) continue;
+          // Zone-map task pruning: a cell's rows are sorted by the sort
+          // dimension, so the zone maps of its first and last covering
+          // blocks bound its sort values (the blocks may be shared with
+          // neighboring cells, which only makes the bound conservative).
+          // A disjoint cell skips refinement and scanning entirely. Only
+          // blocks fully inside the cell count as skipped: those are
+          // provably never decoded (shared boundary blocks may still be
+          // scanned through a neighboring cell).
+          const size_t b0 = begin / Column::kBlockSize;
+          const size_t b1 = (end - 1) / Column::kBlockSize;
+          if (sort_col->BlockMax(b1) < sort_range.lo ||
+              sort_col->BlockMin(b0) > sort_range.hi) {
+            const size_t full_begin =
+                (begin + Column::kBlockSize - 1) / Column::kBlockSize;
+            const size_t full_end = end / Column::kBlockSize;
+            if (full_end > full_begin) {
+              zone_pruned_blocks += full_end - full_begin;
+            }
+            continue;
+          }
           size_t rb;
           size_t re;
           Refine(c, sort_range, begin, end, &rb, &re);
@@ -329,6 +352,7 @@ void FloodIndex::ExecuteT(const Query& query, V& visitor,
   if (stats != nullptr) {
     stats->index_ns += projection.ElapsedNanos() - refine_ns;
     stats->refine_ns += refine_ns;
+    stats->blocks_skipped += zone_pruned_blocks;
   }
 
   // ---- Scan (§3.2 step 3) -------------------------------------------------

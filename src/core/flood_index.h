@@ -72,6 +72,9 @@ class FloodIndex final : public StorageBackedIndex {
   std::vector<std::pair<std::string, double>> DebugProperties()
       const override;
   std::string Describe() const override;
+  std::string SerializedLayout() const override {
+    return layout_.Serialize();
+  }
 
   const GridLayout& layout() const { return layout_; }
   uint64_t num_cells() const { return num_cells_; }

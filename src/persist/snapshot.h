@@ -1,0 +1,95 @@
+#ifndef FLOOD_PERSIST_SNAPSHOT_H_
+#define FLOOD_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+
+namespace flood {
+namespace persist {
+
+/// What a snapshot captures (see src/persist/README.md for the byte-level
+/// layout): the full logical database state — base table in index storage
+/// order, the learned layout and build knobs needed to rebuild the index
+/// WITHOUT re-running the optimizer, and the staged delta — so
+/// `old snapshot + WAL tail` always reproduces the acknowledged state.
+///
+/// Tombstones are stored as full-tuple *keys*, not row ids: Delete(key)
+/// tombstones every base row equal to the key, so the key set identifies
+/// the exact tombstone set in any deterministic rebuild order, even if a
+/// baseline index re-clusters the restored table differently.
+
+/// Borrowed view handed to WriteSnapshot (the base table is not copied).
+struct SnapshotContents {
+  uint64_t epoch = 0;
+  std::string index_name;  ///< Canonical registry key.
+  std::vector<std::pair<std::string, std::string>> index_options;
+  std::string layout;  ///< GridLayout::Serialize() output; "" = none.
+  /// DebugProperties()-style structural counters, stored for telemetry /
+  /// offline inspection (not consulted on restore).
+  std::vector<std::pair<std::string, double>> index_properties;
+  uint64_t sample_size = 0;  ///< DatabaseOptions build-determinism knobs.
+  uint64_t sample_seed = 0;
+  const Table* base = nullptr;  ///< Required; index storage order.
+  std::vector<std::pair<std::string, const Dictionary*>> dictionaries;
+  const Workload* workload = nullptr;  ///< nullptr = no training workload.
+  std::vector<std::vector<Value>> delta_inserts;   ///< Staged rows.
+  std::vector<std::vector<Value>> tombstone_keys;  ///< Distinct key tuples.
+};
+
+/// Owned mirror of SnapshotContents returned by ReadSnapshot.
+struct SnapshotData {
+  uint64_t epoch = 0;
+  std::string index_name;
+  std::vector<std::pair<std::string, std::string>> index_options;
+  std::string layout;
+  std::vector<std::pair<std::string, double>> index_properties;
+  uint64_t sample_size = 0;
+  uint64_t sample_seed = 0;
+  Table base;
+  std::vector<std::pair<std::string, Dictionary>> dictionaries;
+  std::optional<Workload> workload;
+  std::vector<std::vector<Value>> delta_inserts;
+  std::vector<std::vector<Value>> tombstone_keys;
+};
+
+/// Serializes `contents` and writes it to `path` atomically (temp file in
+/// the same directory + fsync + rename), so a crash mid-save leaves any
+/// previous snapshot at `path` intact — a failed snapshot loses nothing.
+Status WriteSnapshot(const std::string& path, const SnapshotContents& c);
+
+/// Reads and fully validates a snapshot: magic, version, section-table
+/// bounds, header CRC, per-section CRCs, and structural invariants
+/// (column lengths, delta arity, counts vs. payload size). Any corruption
+/// or truncation returns InvalidArgument; a missing file returns NotFound.
+StatusOr<SnapshotData> ReadSnapshot(const std::string& path);
+
+// Shared by snapshot and tests: query (de)serialization.
+void AppendQuery(const Query& q, ByteWriter* w);
+StatusOr<Query> ReadQuery(ByteReader* r);
+
+// File helpers (also used by the WAL implementation and tests).
+Status ReadFileToString(const std::string& path, std::string* out);
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+// Low-level POSIX helpers shared by the snapshot and WAL writers.
+std::string ErrnoMessage(const std::string& what, const std::string& path);
+/// write() until `n` bytes landed (EINTR/short-write safe).
+Status WriteAllFd(int fd, const void* data, size_t n,
+                  const std::string& path);
+/// Best-effort fsync of `path`'s parent directory, making a just-created
+/// or just-renamed directory entry durable.
+void FsyncParentDir(const std::string& path);
+
+}  // namespace persist
+}  // namespace flood
+
+#endif  // FLOOD_PERSIST_SNAPSHOT_H_

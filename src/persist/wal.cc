@@ -1,0 +1,247 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/bytes.h"
+#include "persist/snapshot.h"
+
+namespace flood {
+namespace persist {
+namespace {
+
+/// magic u64 | version u32 | epoch u64 | crc32(preceding 20 bytes).
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 4;
+/// Record framing: payload_len u32 | crc32(payload) | payload.
+constexpr size_t kFrameBytes = 4 + 4;
+/// Sanity cap on one record's payload (a record is one row/key, so even
+/// absurd arities stay far below this); rejects corrupt length fields.
+constexpr uint32_t kMaxPayload = 1 << 24;
+
+std::string EncodeHeader(uint64_t epoch) {
+  std::string out;
+  ByteWriter w(&out);
+  w.PutU64(kWalMagic);
+  w.PutU32(kWalVersion);
+  w.PutU64(epoch);
+  w.PutU32(Crc32(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<WalContents> ReadWal(const std::string& path) {
+  std::string file;
+  FLOOD_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  if (file.size() < kHeaderBytes) {
+    // Only a crash during creation leaves a short header; no record was
+    // ever acknowledged from this file, so treat it like a missing one.
+    return Status::NotFound("wal " + path + " has no complete header");
+  }
+  ByteReader header(file.data(), kHeaderBytes);
+  const uint64_t magic = header.GetU64();
+  const uint32_t version = header.GetU32();
+  const uint64_t epoch = header.GetU64();
+  const uint32_t crc = header.GetU32();
+  if (magic != kWalMagic) {
+    return Status::InvalidArgument("wal " + path + ": bad magic");
+  }
+  if (version != kWalVersion) {
+    return Status::InvalidArgument("wal " + path + ": unsupported version " +
+                                   std::to_string(version));
+  }
+  if (crc != Crc32(file.data(), kHeaderBytes - 4)) {
+    return Status::InvalidArgument("wal " + path +
+                                   ": header checksum mismatch");
+  }
+
+  WalContents out;
+  out.epoch = epoch;
+  out.valid_bytes = kHeaderBytes;
+  size_t pos = kHeaderBytes;
+  while (pos < file.size()) {
+    // Anything that fails from here on is a torn tail: a record that was
+    // never fully handed to the OS, i.e. never acknowledged.
+    if (file.size() - pos < kFrameBytes) break;
+    ByteReader frame(file.data() + pos, kFrameBytes);
+    const uint32_t len = frame.GetU32();
+    const uint32_t payload_crc = frame.GetU32();
+    if (len > kMaxPayload || file.size() - pos - kFrameBytes < len) break;
+    const char* payload = file.data() + pos + kFrameBytes;
+    if (Crc32(payload, len) != payload_crc) break;
+    ByteReader r(payload, len);
+    const uint8_t type = r.GetU8();
+    const uint32_t n = r.GetU32();
+    if (!r.ok() || (type != 1 && type != 2) ||
+        static_cast<uint64_t>(n) * sizeof(Value) != r.remaining()) {
+      break;
+    }
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(type);
+    rec.values.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) rec.values.push_back(r.GetI64());
+    out.records.push_back(std::move(rec));
+    pos += kFrameBytes + len;
+    out.valid_bytes = pos;
+  }
+  out.torn_tail = out.valid_bytes < file.size();
+  return out;
+}
+
+Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("ftruncate", path));
+    ::close(fd);
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("fsync", path));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+StatusOr<WalWriter> WalWriter::Create(const std::string& path, uint64_t epoch,
+                                      bool sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
+  const std::string header = EncodeHeader(epoch);
+  Status status = WriteAllFd(fd, header.data(), header.size(), path);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal(ErrnoMessage("fsync", path));
+  }
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  // Make the new directory entry durable too: without this, a power loss
+  // after N fsynced commits could drop the whole file under kSync.
+  FsyncParentDir(path);
+  WalWriter w;
+  w.fd_ = fd;
+  w.path_ = path;
+  w.sync_ = sync;
+  w.epoch_ = epoch;
+  w.file_bytes_ = header.size();
+  return w;
+}
+
+StatusOr<WalWriter> WalWriter::Append(const std::string& path, uint64_t epoch,
+                                      bool sync, uint64_t file_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
+  if (::lseek(fd, static_cast<off_t>(file_bytes), SEEK_SET) < 0) {
+    const Status status = Status::Internal(ErrnoMessage("lseek", path));
+    ::close(fd);
+    return status;
+  }
+  WalWriter w;
+  w.fd_ = fd;
+  w.path_ = path;
+  w.sync_ = sync;
+  w.epoch_ = epoch;
+  w.file_bytes_ = file_bytes;
+  return w;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+    path_ = std::move(o.path_);
+    sync_ = o.sync_;
+    epoch_ = o.epoch_;
+    file_bytes_ = o.file_bytes_;
+    records_committed_ = o.records_committed_;
+    pending_records_ = o.pending_records_;
+    dirty_past_end_ = o.dirty_past_end_;
+    pending_ = std::move(o.pending_);
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::AppendRecord(WalRecordType type,
+                             std::span<const Value> values) {
+  std::string payload;
+  ByteWriter w(&payload);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(static_cast<uint32_t>(values.size()));
+  for (Value v : values) w.PutI64(v);
+  ByteWriter frame(&pending_);
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data(), payload.size()));
+  frame.PutBytes(payload.data(), payload.size());
+  ++pending_records_;
+}
+
+Status WalWriter::Commit() {
+  if (pending_.empty()) return Status::OK();
+  if (dirty_past_end_) {
+    // A previous commit failed mid-write(): unacknowledged partial bytes
+    // may sit past file_bytes_, and appending after them would make every
+    // later record unreachable at replay (the torn frame stops the scan).
+    // Chop them off before writing this batch.
+    if (::ftruncate(fd_, static_cast<off_t>(file_bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(file_bytes_), SEEK_SET) < 0) {
+      return Status::Internal(ErrnoMessage("repair-truncate", path_));
+    }
+    dirty_past_end_ = false;
+  }
+  Status committed = WriteAllFd(fd_, pending_.data(), pending_.size(), path_);
+  if (committed.ok() && sync_ && ::fsync(fd_) != 0) {
+    committed = Status::Internal(ErrnoMessage("fsync", path_));
+  }
+  if (!committed.ok()) {
+    // The batch was never acknowledged; drop it and mark the file tail
+    // suspect so the next commit truncates it away first. (On fsync
+    // failure the frames may be fully written and CRC-valid — leaving
+    // them would replay, and later duplicate, writes the caller was told
+    // failed. A crash before the repair can still surface them: an
+    // *unacknowledged* write may appear after recovery, but never twice
+    // and never at the cost of a later acknowledged one.)
+    pending_.clear();
+    pending_records_ = 0;
+    dirty_past_end_ = true;
+    return committed;
+  }
+  file_bytes_ += pending_.size();
+  records_committed_ += pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Reset(uint64_t new_epoch) {
+  pending_.clear();
+  pending_records_ = 0;
+  dirty_past_end_ = false;
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal(ErrnoMessage("ftruncate", path_));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::Internal(ErrnoMessage("lseek", path_));
+  }
+  const std::string header = EncodeHeader(new_epoch);
+  FLOOD_RETURN_IF_ERROR(WriteAllFd(fd_, header.data(), header.size(), path_));
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(ErrnoMessage("fsync", path_));
+  }
+  epoch_ = new_epoch;
+  file_bytes_ = header.size();
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace flood

@@ -1,0 +1,116 @@
+#ifndef FLOOD_PERSIST_WAL_H_
+#define FLOOD_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/format.h"
+#include "storage/column.h"
+
+namespace flood {
+namespace persist {
+
+/// One logical write operation replayed on recovery. Records are logical
+/// (row values / delete keys), never physical row ids, so replay is
+/// independent of index storage order and survives compactions.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  std::vector<Value> values;
+};
+
+/// Result of reading a WAL file: the header epoch, every intact record,
+/// and where the intact prefix ends. `torn_tail` is true when trailing
+/// bytes after `valid_bytes` failed framing or checksum validation — the
+/// signature of a crash mid-append; the caller truncates them away with
+/// TruncateWal before appending further.
+struct WalContents {
+  uint64_t epoch = 0;
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Reads and checksum-validates `path`. Returns NotFound when the file is
+/// missing, and treats a file shorter than the header as missing too (the
+/// only way it occurs is a crash during creation, before any record could
+/// have been acknowledged). A present-but-corrupt *header* is an error —
+/// it is never silently discarded.
+StatusOr<WalContents> ReadWal(const std::string& path);
+
+/// Truncates `path` to `valid_bytes` (torn-tail repair after ReadWal).
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+/// Append-only group-commit writer.
+///
+/// Append* stages records in a user-space buffer; Commit() hands the whole
+/// batch to the OS in one write() — and, with `sync`, one fsync() — so a
+/// batch of N inserts costs one syscall (+ one fsync), not N. A record is
+/// *acknowledged* only once its Commit returns OK: committed bytes survive
+/// process death (SIGKILL) always, and survive OS/power failure when
+/// `sync` is set.
+///
+/// Thread safety: none; the owner (flood::Database) already serializes
+/// writers behind its exclusive lock.
+class WalWriter {
+ public:
+  /// Creates (or wipes) `path` with a fresh header carrying `epoch`.
+  static StatusOr<WalWriter> Create(const std::string& path, uint64_t epoch,
+                                    bool sync);
+
+  /// Opens an existing, already-validated WAL for appending. `epoch` and
+  /// `file_bytes` come from ReadWal (after any torn-tail truncation).
+  static StatusOr<WalWriter> Append(const std::string& path, uint64_t epoch,
+                                    bool sync, uint64_t file_bytes);
+
+  WalWriter(WalWriter&& o) noexcept { *this = std::move(o); }
+  WalWriter& operator=(WalWriter&& o) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  void AppendInsert(std::span<const Value> row) {
+    AppendRecord(WalRecordType::kInsert, row);
+  }
+  void AppendDelete(std::span<const Value> key) {
+    AppendRecord(WalRecordType::kDelete, key);
+  }
+
+  /// Writes the staged batch; with `sync`, fsyncs. No-op when empty.
+  Status Commit();
+
+  /// Truncates back to a fresh header with `new_epoch` and fsyncs: the
+  /// checkpoint step after a successful snapshot (whose records this WAL's
+  /// now-discarded tail is folded into). Discards any uncommitted batch.
+  Status Reset(uint64_t new_epoch);
+
+  uint64_t epoch() const { return epoch_; }
+  /// Committed file size (header + committed records).
+  uint64_t file_bytes() const { return file_bytes_; }
+  /// Records committed through this writer (not counting replayed ones).
+  uint64_t records_committed() const { return records_committed_; }
+
+ private:
+  WalWriter() = default;
+
+  void AppendRecord(WalRecordType type, std::span<const Value> values);
+
+  int fd_ = -1;
+  std::string path_;
+  bool sync_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t file_bytes_ = 0;
+  uint64_t records_committed_ = 0;
+  uint64_t pending_records_ = 0;
+  /// A commit failed mid-write: bytes past file_bytes_ are suspect and
+  /// must be truncated before the next commit lands.
+  bool dirty_past_end_ = false;
+  std::string pending_;
+};
+
+}  // namespace persist
+}  // namespace flood
+
+#endif  // FLOOD_PERSIST_WAL_H_

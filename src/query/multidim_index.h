@@ -79,6 +79,12 @@ class MultiDimIndex {
   /// One-line human description of the physical layout (e.g. Flood's
   /// learned grid). Defaults to the index name.
   virtual std::string Describe() const { return std::string(name()); }
+
+  /// Machine-readable serialization of the index's learned layout, if it
+  /// has one (Flood returns GridLayout::Serialize()). Snapshots persist it
+  /// so a restore can pin the layout and skip the optimizer; "" means the
+  /// index rebuilds from its options + training workload alone.
+  virtual std::string SerializedLayout() const { return std::string(); }
 };
 
 /// Convenience base for indexes that own a reordered copy of the table.

@@ -146,6 +146,98 @@ size_t Column::MemoryUsageBytes() const {
          words_.size() * sizeof(uint64_t);
 }
 
+namespace {
+
+/// Reads a u64 element count and pre-validates it against the bytes left
+/// in `r` (each element occupies at least `elem_bytes`), so corrupt counts
+/// can never drive a huge allocation.
+bool ReadCount(ByteReader* r, size_t elem_bytes, size_t* out) {
+  const uint64_t n = r->GetU64();
+  if (!r->ok() || n > r->remaining() / elem_bytes) {
+    r->MarkFailed();
+    return false;
+  }
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
+template <typename T, typename GetFn>
+bool ReadVector(ByteReader* r, size_t n, std::vector<T>* out, GetFn get) {
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) out->push_back(get(r));
+  return r->ok();
+}
+
+}  // namespace
+
+void Column::AppendTo(ByteWriter* w) const {
+  w->PutU8(encoding_ == Encoding::kPlain ? 0 : 1);
+  w->PutU64(size_);
+  for (Value v : block_min_) w->PutI64(v);
+  for (Value v : block_max_) w->PutI64(v);
+  if (encoding_ == Encoding::kPlain) {
+    for (Value v : plain_) w->PutI64(v);
+    return;
+  }
+  // Bit widths fit a byte; bit offsets are recomputed from them on read.
+  for (uint32_t width : block_width_) w->PutU8(static_cast<uint8_t>(width));
+  w->PutU64(words_.size());
+  for (uint64_t word : words_) w->PutU64(word);
+}
+
+StatusOr<Column> Column::ReadFrom(ByteReader* r) {
+  const auto fail = [] {
+    return Status::InvalidArgument("truncated or corrupt column pages");
+  };
+  const uint8_t encoding = r->GetU8();
+  const uint64_t size = r->GetU64();
+  if (!r->ok() || encoding > 1) return fail();
+  // A size near 2^64 would wrap NumBlocks() to 0 and sail past every
+  // per-block bound below; any genuine column needs at least one zone-map
+  // byte pair per block, so bound size by the bytes actually present.
+  if (size / kBlockSize > r->remaining() / 16) return fail();
+
+  Column col;
+  col.encoding_ = encoding == 0 ? Encoding::kPlain : Encoding::kBlockDelta;
+  col.size_ = static_cast<size_t>(size);
+  const size_t num_blocks = col.NumBlocks();
+  // Zone maps alone need 16 bytes per block; reject impossible sizes
+  // before any allocation sized from them.
+  if (num_blocks > r->remaining() / 16) return fail();
+  const auto get_i64 = [](ByteReader* br) { return br->GetI64(); };
+  if (!ReadVector(r, num_blocks, &col.block_min_, get_i64) ||
+      !ReadVector(r, num_blocks, &col.block_max_, get_i64)) {
+    return fail();
+  }
+
+  if (col.encoding_ == Encoding::kPlain) {
+    if (col.size_ > r->remaining() / sizeof(Value)) return fail();
+    if (!ReadVector(r, col.size_, &col.plain_, get_i64)) return fail();
+    return col;
+  }
+
+  if (num_blocks > r->remaining()) return fail();
+  uint64_t total_bits = 0;
+  col.block_width_.reserve(num_blocks);
+  col.block_bit_offset_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint8_t width = r->GetU8();
+    if (width > 64) return fail();
+    col.block_width_.push_back(width);
+    col.block_bit_offset_.push_back(total_bits);
+    total_bits += static_cast<uint64_t>(kBlockSize) * width;
+  }
+  size_t num_words = 0;
+  if (!ReadCount(r, sizeof(uint64_t), &num_words)) return fail();
+  // The word count is implied by the widths (FromValues invariant,
+  // including the one-word slack the unpackers rely on); a mismatch means
+  // the pages are inconsistent.
+  if (num_words != (total_bits + 63) / 64 + 1) return fail();
+  const auto get_u64 = [](ByteReader* br) { return br->GetU64(); };
+  if (!ReadVector(r, num_words, &col.words_, get_u64)) return fail();
+  return col;
+}
+
 PrefixSums::PrefixSums(const std::vector<Value>& values) {
   sums_.resize(values.size() + 1);
   sums_[0] = 0;

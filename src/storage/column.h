@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace flood {
 
@@ -104,6 +106,17 @@ class Column {
 
   /// Heap footprint of the encoded representation, in bytes.
   size_t MemoryUsageBytes() const;
+
+  /// Appends the encoded representation (raw pages: zone maps + either the
+  /// plain values or the bit-packed words) to `w`. The round-trip through
+  /// ReadFrom is bit-exact — no re-encoding — so a restored column returns
+  /// identical values in identical storage order at identical cost.
+  void AppendTo(ByteWriter* w) const;
+
+  /// Parses AppendTo output from `r`. Every length and width is validated
+  /// against the remaining input before any allocation, so truncated or
+  /// corrupt pages yield InvalidArgument, never UB.
+  static StatusOr<Column> ReadFrom(ByteReader* r);
 
  private:
   Value GetBlockDelta(size_t i) const {

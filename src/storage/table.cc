@@ -67,6 +67,49 @@ Table Table::Reorder(const std::vector<RowId>& perm) const {
   return std::move(t).value();
 }
 
+void Table::AppendTo(ByteWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(num_dims()));
+  w->PutU64(num_rows_);
+  for (size_t d = 0; d < num_dims(); ++d) {
+    w->PutString(names_[d]);
+    columns_[d].AppendTo(w);
+  }
+}
+
+StatusOr<Table> Table::ReadFrom(ByteReader* r) {
+  const uint32_t num_dims = r->GetU32();
+  const uint64_t num_rows = r->GetU64();
+  // A column stores at least 9 bytes (encoding + size), a name 4.
+  if (!r->ok() || num_dims == 0 || num_dims > r->remaining() / 13) {
+    return Status::InvalidArgument("truncated or corrupt table pages");
+  }
+  Table t;
+  t.num_rows_ = static_cast<size_t>(num_rows);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    t.names_.push_back(r->GetString());
+    StatusOr<Column> col = Column::ReadFrom(r);
+    if (!col.ok()) return col.status();
+    if (col->size() != t.num_rows_) {
+      return Status::InvalidArgument("column length mismatch in table pages");
+    }
+    // Table min/max are the fold of the column's block zone maps.
+    Value mn = kValueMax;
+    Value mx = kValueMin;
+    for (size_t b = 0; b < col->NumBlocks(); ++b) {
+      mn = std::min(mn, col->BlockMin(b));
+      mx = std::max(mx, col->BlockMax(b));
+    }
+    if (t.num_rows_ == 0) {
+      mn = 0;
+      mx = 0;
+    }
+    t.min_.push_back(mn);
+    t.max_.push_back(mx);
+    t.columns_.push_back(std::move(*col));
+  }
+  return t;
+}
+
 size_t Table::MemoryUsageBytes() const {
   size_t bytes = 0;
   for (const auto& c : columns_) bytes += c.MemoryUsageBytes();

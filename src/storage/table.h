@@ -61,6 +61,15 @@ class Table {
     return num_rows_ * num_dims() * sizeof(Value);
   }
 
+  /// Appends the table (names + encoded column pages) to `w`. Bit-exact
+  /// round-trip through ReadFrom: storage order, encodings, and zone maps
+  /// are preserved, never re-encoded.
+  void AppendTo(ByteWriter* w) const;
+
+  /// Parses AppendTo output; per-dimension min/max are rebuilt from the
+  /// restored zone maps. Truncated/corrupt input returns InvalidArgument.
+  static StatusOr<Table> ReadFrom(ByteReader* r);
+
  private:
   size_t num_rows_ = 0;
   std::vector<Column> columns_;

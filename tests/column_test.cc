@@ -187,6 +187,73 @@ TEST(ColumnTest, EmptyColumn) {
   EXPECT_TRUE(col.Decode().empty());
 }
 
+// Serialization (the snapshot substrate): AppendTo -> ReadFrom must be
+// bit-exact across encodings, value shapes, and partial trailing blocks.
+TEST(ColumnSerializeTest, AppendReadRoundTripIsExact) {
+  Rng rng(44);
+  for (const Encoding encoding : {Encoding::kPlain, Encoding::kBlockDelta}) {
+    for (const size_t n : {size_t{1}, size_t{127}, size_t{128}, size_t{129},
+                           size_t{5000}}) {
+      std::vector<Value> values = UniformColumn(n, -1'000'000, 1'000'000,
+                                                rng);
+      values[0] = kValueMin;  // Exercise the width-64 extreme-range path.
+      if (n > 1) values[1] = kValueMax;
+      const Column col = Column::FromValues(values, encoding);
+
+      std::string bytes;
+      ByteWriter w(&bytes);
+      col.AppendTo(&w);
+      ByteReader r(bytes);
+      StatusOr<Column> restored = Column::ReadFrom(&r);
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      EXPECT_TRUE(r.ok());
+      EXPECT_EQ(r.remaining(), 0u);
+      ASSERT_EQ(restored->size(), n);
+      EXPECT_EQ(restored->encoding(), encoding);
+      EXPECT_EQ(restored->Decode(), values);
+      EXPECT_EQ(restored->MemoryUsageBytes(), col.MemoryUsageBytes());
+      for (size_t b = 0; b < col.NumBlocks(); ++b) {
+        EXPECT_EQ(restored->BlockMin(b), col.BlockMin(b));
+        EXPECT_EQ(restored->BlockMax(b), col.BlockMax(b));
+      }
+    }
+  }
+}
+
+TEST(ColumnSerializeTest, TruncatedAndCorruptPagesAreRejected) {
+  Rng rng(45);
+  std::vector<Value> values = UniformColumn(1000, 0, 1 << 20, rng);
+  const Column col = Column::FromValues(values, Encoding::kBlockDelta);
+  std::string bytes;
+  ByteWriter w(&bytes);
+  col.AppendTo(&w);
+
+  for (const size_t len : {size_t{0}, size_t{5}, bytes.size() / 2,
+                           bytes.size() - 1}) {
+    ByteReader r(bytes.data(), len);
+    EXPECT_FALSE(Column::ReadFrom(&r).ok()) << len;
+  }
+  // An impossible bit width must be rejected structurally.
+  std::string mutated = bytes;
+  const size_t width_offset = 1 + 8 + 2 * 8 * col.NumBlocks();
+  mutated[width_offset] = 65;
+  ByteReader r(mutated);
+  EXPECT_FALSE(Column::ReadFrom(&r).ok());
+
+  // A near-2^64 size would wrap the block count to zero and bypass every
+  // per-block bound; it must be rejected before any allocation.
+  for (const uint64_t size :
+       {~uint64_t{0}, ~uint64_t{0} - 100, uint64_t{1} << 60}) {
+    std::string huge;
+    ByteWriter hw(&huge);
+    hw.PutU8(1);  // kBlockDelta.
+    hw.PutU64(size);
+    hw.PutU64(0);  // A few plausible trailing bytes.
+    ByteReader hr(huge);
+    EXPECT_FALSE(Column::ReadFrom(&hr).ok()) << size;
+  }
+}
+
 TEST(PrefixSumsTest, RangeSums) {
   PrefixSums sums({1, 2, 3, 4, 5});
   EXPECT_EQ(sums.RangeSum(0, 5), 15);

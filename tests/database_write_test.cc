@@ -22,18 +22,7 @@ using testing::BruteForce;
 using testing::DataShape;
 using testing::MakeTable;
 using testing::RandomQuery;
-
-/// Rows of `table` as row-major tuples (InsertBatch / oracle input).
-std::vector<std::vector<Value>> RowsOf(const Table& table) {
-  std::vector<std::vector<Value>> rows(table.num_rows());
-  for (RowId r = 0; r < table.num_rows(); ++r) {
-    rows[r].resize(table.num_dims());
-    for (size_t d = 0; d < table.num_dims(); ++d) {
-      rows[r][d] = table.Get(r, d);
-    }
-  }
-  return rows;
-}
+using testing::RowsOf;
 
 Table TableFromRows(const std::vector<std::vector<Value>>& rows) {
   std::vector<std::vector<Value>> cols(rows.front().size());
@@ -227,6 +216,50 @@ TEST(DatabaseWriteTest, CompactionEquivalence) {
     EXPECT_EQ(after.results[i].sum, before.results[i].sum) << i;
     EXPECT_EQ(after.results[i].stats.delta_rows_scanned, 0u) << i;
   }
+}
+
+// A row's full lifecycle across a compaction: staged insert -> compacted
+// into the base -> deleted again. The delete must take the tombstone path
+// (the staged copy no longer exists to erase) and the next compaction must
+// remove it physically.
+TEST(DatabaseWriteTest, DeleteAfterCompactTombstonesCompactedRow) {
+  const Table base = MakeTable(DataShape::kUniform, 800, 2, 75);
+  StatusOr<Database> db =
+      Database::Open(base, DatabaseOptions{.index_name = "flood"});
+  ASSERT_TRUE(db.ok());
+
+  // A row guaranteed absent from the base table (values are in [0, 1e6]).
+  const std::vector<Value> row = {2'000'001, 7};
+  Query eq(2);
+  eq.SetEquals(0, row[0]);
+  eq.SetEquals(1, row[1]);
+  ASSERT_TRUE(db->Insert(row).ok());
+  EXPECT_EQ(db->Run(eq).count, 1u);
+
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_EQ(db->pending_writes(), 0u);
+  EXPECT_EQ(db->base_rows(), base.num_rows() + 1);
+
+  // The staged copy is gone; this delete must tombstone the base copy.
+  StatusOr<size_t> deleted = db->Delete(row);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 1u);
+  EXPECT_EQ(db->delta_inserts(), 0u);
+  EXPECT_EQ(db->delta_tombstones(), 1u);
+  EXPECT_EQ(db->Run(eq).count, 0u);
+  EXPECT_TRUE(db->Collect(eq).rows.empty());
+  EXPECT_EQ(db->num_rows(), base.num_rows());
+
+  // SUM over everything no longer sees the tombstoned row's value.
+  const Query sum_all = QueryBuilder(2).Sum(1).Build();
+  EXPECT_EQ(db->Run(sum_all).sum, BruteForce(base, sum_all, 1).sum);
+
+  // The next compaction removes it physically; answers are unchanged.
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_EQ(db->base_rows(), base.num_rows());
+  EXPECT_EQ(db->delta_tombstones(), 0u);
+  EXPECT_EQ(db->Run(eq).count, 0u);
+  EXPECT_EQ(db->Run(sum_all).sum, BruteForce(base, sum_all, 1).sum);
 }
 
 TEST(DatabaseWriteTest, RetrainDrainsDeltaAndPreservesResults) {

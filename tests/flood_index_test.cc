@@ -199,6 +199,44 @@ TEST(FloodIndexTest, IndexSizeTracksCellModelBudget) {
   EXPECT_GT(a.IndexSizeBytes(), b.IndexSizeBytes());
 }
 
+// Zone-map task pruning (ROADMAP scan-kernel open item): cells whose
+// sort-dimension zone maps are disjoint with the predicate are skipped
+// before refinement, accounted in blocks_skipped.
+TEST(FloodIndexTest, ZoneMapPruningSkipsDisjointSortRanges) {
+  const Table t = MakeTable(DataShape::kUniform, 20'000, 3, 13);
+  FloodIndex::Options o;
+  o.layout = GridLayout::Default(3, 64);
+  FloodIndex index(o);
+  const BuildContext ctx = MakeCtx(t);
+  ASSERT_TRUE(index.Build(t, ctx).ok());
+  const size_t sort_dim = index.layout().sort_dim();
+
+  // Sort range entirely above the value domain: every cell's zone maps
+  // are disjoint, so refinement is skipped everywhere.
+  Query above(3);
+  above.SetRange(sort_dim, 2'000'000, 3'000'000);
+  QueryStats stats;
+  EXPECT_EQ(ExecuteAggregate(index, above, &stats).count, 0u);
+  EXPECT_GT(stats.blocks_skipped, 0u);
+  EXPECT_EQ(stats.points_scanned, 0u);
+
+  Query below(3);
+  below.SetRange(sort_dim, kValueMin, -5);
+  QueryStats below_stats;
+  EXPECT_EQ(ExecuteAggregate(index, below, &below_stats).count, 0u);
+  EXPECT_GT(below_stats.blocks_skipped, 0u);
+
+  // Pruning never changes answers on ranges that do intersect.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Query q = RandomQuery(t, 7600 + seed);
+    const Value lo = static_cast<Value>(seed * 50'000);
+    q.SetRange(sort_dim, lo, lo + 60'000);
+    EXPECT_EQ(ExecuteAggregate(index, q, nullptr).count,
+              BruteForce(t, q, 0).count)
+        << q.ToString();
+  }
+}
+
 TEST(FloodIndexTest, StatsCountCellsVisited) {
   const Table t = MakeTable(DataShape::kUniform, 10'000, 3, 12);
   FloodIndex::Options o;

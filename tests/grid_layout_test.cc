@@ -1,9 +1,40 @@
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "common/rng.h"
 #include "core/grid_layout.h"
 
 namespace flood {
 namespace {
+
+/// A random structurally-valid layout over up to 64 dimensions, biased
+/// toward the degenerate shapes that bite in practice: 1-column (excluded)
+/// grid dims, single-dim layouts, and no-sort-dim grids.
+GridLayout RandomLayout(Rng& rng) {
+  const size_t nd = static_cast<size_t>(rng.UniformInt(1, 64));
+  GridLayout l;
+  l.dim_order.resize(nd);
+  std::iota(l.dim_order.begin(), l.dim_order.end(), size_t{0});
+  for (size_t i = nd; i-- > 1;) {  // Fisher-Yates with the seeded Rng.
+    const size_t j =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i)));
+    std::swap(l.dim_order[i], l.dim_order[j]);
+  }
+  l.use_sort_dim = nd > 1 && rng.NextDouble() < 0.8;
+  l.columns.resize(l.NumGridDims());
+  for (uint32_t& c : l.columns) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.3) {
+      c = 1;  // Degenerate 1-cell dimension.
+    } else if (roll < 0.95) {
+      c = static_cast<uint32_t>(rng.UniformInt(2, 1'000'000));
+    } else {
+      c = 0xFFFFFFFFu;  // Extreme column count still round-trips.
+    }
+  }
+  return l;
+}
 
 TEST(GridLayoutTest, DefaultLayoutValid) {
   const GridLayout l = GridLayout::Default(4, 1000);
@@ -93,6 +124,72 @@ TEST(GridLayoutSerializeTest, RejectsMalformedInput) {
   EXPECT_FALSE(GridLayout::Parse("order=0,x;cols=2;sort=1").ok());
   EXPECT_FALSE(GridLayout::Parse("bogus=1;order=0;cols=1;sort=0").ok());
   EXPECT_FALSE(GridLayout::Parse("order=0,1;cols=0,2;sort=0").ok());
+}
+
+// Snapshots embed Serialize() output, so the round trip is load-bearing:
+// Parse(Serialize(L)) must reproduce L exactly for every valid layout,
+// including degenerate 1-cell dimensions and the 64-dim maximum.
+TEST(GridLayoutSerializeTest, RandomizedRoundTripProperty) {
+  Rng rng(20260731);
+  for (int iter = 0; iter < 500; ++iter) {
+    const GridLayout l = RandomLayout(rng);
+    ASSERT_TRUE(l.IsValid(l.num_dims())) << l.ToString();
+    const StatusOr<GridLayout> parsed = GridLayout::Parse(l.Serialize());
+    ASSERT_TRUE(parsed.ok())
+        << l.Serialize() << " -> " << parsed.status().ToString();
+    EXPECT_EQ(parsed->dim_order, l.dim_order);
+    EXPECT_EQ(parsed->columns, l.columns);
+    EXPECT_EQ(parsed->use_sort_dim, l.use_sort_dim);
+  }
+}
+
+TEST(GridLayoutSerializeTest, MaxDimLayoutRoundTrips) {
+  GridLayout l;
+  l.dim_order.resize(64);
+  std::iota(l.dim_order.begin(), l.dim_order.end(), size_t{0});
+  l.use_sort_dim = true;
+  l.columns.assign(63, 1);  // All-degenerate grid: a single cell.
+  ASSERT_TRUE(l.IsValid(64));
+  EXPECT_EQ(l.NumCells(), 1u);
+  const StatusOr<GridLayout> parsed = GridLayout::Parse(l.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dim_order, l.dim_order);
+  EXPECT_EQ(parsed->columns, l.columns);
+}
+
+// Truncated serializations must never parse: the trailing "sort=" field
+// means any strict prefix is structurally incomplete.
+TEST(GridLayoutSerializeTest, TruncatedInputsAreRejected) {
+  Rng rng(777);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::string text = RandomLayout(rng).Serialize();
+    for (size_t len = 0; len < text.size(); ++len) {
+      const StatusOr<GridLayout> parsed =
+          GridLayout::Parse(text.substr(0, len));
+      EXPECT_FALSE(parsed.ok())
+          << "prefix of length " << len << " of: " << text;
+    }
+  }
+}
+
+// Fuzz-ish byte mutations: Parse must never crash, and whatever it accepts
+// must be structurally valid (a flipped digit may legitimately yield a
+// different-but-valid layout; garbage must be rejected).
+TEST(GridLayoutSerializeTest, MutatedInputsRejectedOrStillValid) {
+  Rng rng(778);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string text = RandomLayout(rng).Serialize();
+    const size_t mutations = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    for (size_t m = 0; m < mutations; ++m) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+      text[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    const StatusOr<GridLayout> parsed = GridLayout::Parse(text);
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->IsValid(parsed->num_dims())) << text;
+    }
+  }
 }
 
 TEST(GridLayoutTest, ToStringMentionsDims) {

@@ -68,6 +68,36 @@ TEST(TableTest, DecodeColumnMatchesGet) {
   for (size_t i = 0; i < 3; ++i) EXPECT_EQ(col[i], t->Get(i, 0));
 }
 
+TEST(TableTest, SerializeRoundTripPreservesEverything) {
+  StatusOr<Table> t = Table::FromColumns(
+      {{5, -3, 9, 5}, {100, 200, 300, 400}},
+      Column::Encoding::kBlockDelta, {"price", "qty"});
+  ASSERT_TRUE(t.ok());
+
+  std::string bytes;
+  ByteWriter w(&bytes);
+  t->AppendTo(&w);
+  ByteReader r(bytes);
+  StatusOr<Table> restored = Table::ReadFrom(&r);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(r.remaining(), 0u);
+  ASSERT_EQ(restored->num_rows(), t->num_rows());
+  ASSERT_EQ(restored->num_dims(), t->num_dims());
+  for (size_t d = 0; d < t->num_dims(); ++d) {
+    EXPECT_EQ(restored->name(d), t->name(d));
+    EXPECT_EQ(restored->min_value(d), t->min_value(d));
+    EXPECT_EQ(restored->max_value(d), t->max_value(d));
+    EXPECT_EQ(restored->DecodeColumn(d), t->DecodeColumn(d));
+    EXPECT_EQ(restored->column(d).encoding(), t->column(d).encoding());
+  }
+
+  // Truncations never parse.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    ByteReader cut(bytes.data(), len);
+    EXPECT_FALSE(Table::ReadFrom(&cut).ok()) << len;
+  }
+}
+
 TEST(TableTest, MemoryUsageReflectsCompression) {
   std::vector<Value> narrow(10'000);
   for (size_t i = 0; i < narrow.size(); ++i) {

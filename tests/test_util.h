@@ -1,6 +1,11 @@
 #ifndef FLOOD_TESTS_TEST_UTIL_H_
 #define FLOOD_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,6 +15,39 @@
 
 namespace flood {
 namespace testing {
+
+/// RAII path under the gtest temp dir, unique per process; removes the
+/// file (and any atomic-write `.tmp` leftover) on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "flood_" + std::to_string(::getpid()) +
+              "_" + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Rows of `table` as row-major tuples (InsertBatch / oracle input).
+inline std::vector<std::vector<Value>> RowsOf(const Table& table) {
+  std::vector<std::vector<Value>> rows(table.num_rows());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    rows[r].resize(table.num_dims());
+    for (size_t d = 0; d < table.num_dims(); ++d) {
+      rows[r][d] = table.Get(r, d);
+    }
+  }
+  return rows;
+}
 
 /// Shapes of synthetic test data exercising different index stress points.
 enum class DataShape {

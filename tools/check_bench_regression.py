@@ -31,16 +31,32 @@ Typical use:
 
 import argparse
 import json
+import os
 import shutil
 import sys
 
 
-def load_context(path):
-    with open(path) as f:
-        return json.load(f).get("context", {})
+def load_report(path, role):
+    """Loads a google-benchmark JSON report, failing with an actionable
+    message (not a stack trace) on unreadable or malformed files."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"FAIL: cannot read {role} {path}: {e}")
+        return None
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {role} {path} is not valid JSON ({e}); if this is "
+              "the committed baseline, regenerate it with the bench's "
+              "--benchmark_out JSON and --update")
+        return None
 
 
-def check_context_mismatch(baseline_path, current_path):
+def load_context(report):
+    return report.get("context", {})
+
+
+def check_context_mismatch(baseline, current):
     """A baseline measured on different hardware (or a different build
     flavor) makes absolute-throughput ratios meaningless: a slow-host
     baseline lets real regressions sail through, a fast-host baseline
@@ -48,8 +64,8 @@ def check_context_mismatch(baseline_path, current_path):
     the gate (--require-same-context, what CI uses — a dead gate that
     can never fire is worse than a red one demanding a baseline
     refresh)."""
-    base_ctx = load_context(baseline_path)
-    cur_ctx = load_context(current_path)
+    base_ctx = load_context(baseline)
+    cur_ctx = load_context(current)
     mismatched = []
     # mhz_per_cpu rotates with the runner fleet's hardware generation, so
     # it only warns; the structural keys are fatal under
@@ -67,10 +83,8 @@ def check_context_mismatch(baseline_path, current_path):
     return mismatched
 
 
-def load_benchmarks(path):
+def load_benchmarks(report):
     """Returns {name: (metric_name, value, higher_is_better)}."""
-    with open(path) as f:
-        report = json.load(f)
     out = {}
     for bench in report.get("benchmarks", []):
         name = bench.get("name")
@@ -105,11 +119,36 @@ def main():
     args = parser.parse_args()
 
     if args.update:
+        # Validate before copying: a typo'd path or malformed JSON must
+        # not become (or stay) the committed baseline.
+        report = load_report(args.current, "current report")
+        if report is None:
+            return 1
+        if not load_benchmarks(report):
+            print(f"FAIL: {args.current} has no benchmark section; "
+                  "refusing to install it as a baseline")
+            return 1
         shutil.copyfile(args.current, args.baseline)
         print(f"baseline updated: {args.baseline} <- {args.current}")
         return 0
 
-    mismatched = check_context_mismatch(args.baseline, args.current)
+    # A brand-new bench has no committed baseline yet; the gate passes
+    # vacuously with instructions instead of failing (or stack-tracing) —
+    # new benches shouldn't go red before their first baseline lands.
+    if not os.path.exists(args.baseline):
+        print(f"SKIP: baseline {args.baseline} does not exist yet — "
+              "nothing to gate against. To arm this gate, run the bench "
+              "on the gating environment and commit its JSON there "
+              f"(check_bench_regression.py --current <fresh.json> "
+              f"--baseline {args.baseline} --update).")
+        return 0
+
+    baseline_report = load_report(args.baseline, "baseline")
+    current_report = load_report(args.current, "current report")
+    if baseline_report is None or current_report is None:
+        return 1
+
+    mismatched = check_context_mismatch(baseline_report, current_report)
     if mismatched and args.require_same_context:
         print(f"FAIL: benchmark context mismatch ({', '.join(mismatched)}) "
               "— the committed baseline does not describe this "
@@ -117,8 +156,20 @@ def main():
               "check_bench_regression.py --update (CI uploads the fresh "
               "JSON as an artifact for exactly this).")
         return 1
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(baseline_report)
+    current = load_benchmarks(current_report)
+
+    if not baseline:
+        # Same new-bench situation as a missing file, only someone
+        # committed a stub: skip with instructions, don't stack-trace or
+        # fail a bench that has nothing to be compared against.
+        print(f"SKIP: baseline {args.baseline} has no benchmark section — "
+              "refresh it from a real run with --update and commit it.")
+        return 0
+    if not current:
+        print(f"FAIL: current report {args.current} has no benchmark "
+              "section — the bench produced no measurements")
+        return 1
 
     missing = sorted(set(baseline) - set(current))
     added = sorted(set(current) - set(baseline))
