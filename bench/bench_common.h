@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,23 @@ inline const std::vector<std::string>& AllDatasetNames() {
   static const std::vector<std::string>* names =
       new std::vector<std::string>{"sales", "tpch", "osm", "perfmon"};
   return *names;
+}
+
+/// Dataset axis shared by the sweep benches (throughput, serving):
+/// FLOOD_BENCH_DATASETS="sales,tpch" widens it, "all" runs every dataset,
+/// unset defaults to sales (the acceptance dataset).
+inline std::vector<std::string> DatasetSweep() {
+  const char* env = std::getenv("FLOOD_BENCH_DATASETS");
+  if (env == nullptr) return {"sales"};
+  const std::string spec(env);
+  if (spec == "all") return AllDatasetNames();
+  std::vector<std::string> names;
+  std::stringstream ss(spec);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  return names.empty() ? std::vector<std::string>{"sales"} : names;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,254 @@
+// Wire-level serving throughput: QPS and latency percentiles of the
+// binary protocol through a real flood::serve::Server on a loopback
+// Unix-domain socket, swept over client connections x batching strategy.
+//
+// Three strategies per connection count:
+//   single    — 1 query per frame, strict request/reply (no pipelining):
+//               every query pays a full wire round-trip AND its own
+//               RunBatchAsync submission (one reader-lock acquisition
+//               per query).
+//   pipelined — 1 query per frame, `kWindow` frames written back-to-back:
+//               the server's per-connection batching folds each read
+//               burst into ONE RunBatchAsync group, amortizing the
+//               reader lock and the pool handoff across the window.
+//   framebatch— `kWindow` queries per frame, strict request/reply:
+//               client-side batching; one round-trip per window.
+//
+// Shape to check: pipelined and framebatch beat single by a wide margin
+// (that gap IS the per-connection batching win the serving tier exists
+// for), and aggregate QPS grows with connections until the database's
+// worker pool saturates.
+//
+// Env knobs: FLOOD_BENCH_QUERIES (queries per strategy per connection
+// count), FLOOD_BENCH_THREADS (database pool width),
+// FLOOD_BENCH_DATASETS (dataset axis, shared with bench_throughput).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_main.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace flood {
+namespace bench {
+namespace {
+
+/// Pipelining window (frames in flight per connection) and framebatch
+/// frame size. Must stay under the server's per-connection in-flight cap.
+constexpr size_t kWindow = 8;
+
+const std::vector<size_t>& ConnectionSweep() {
+  static const std::vector<size_t>* sweep =
+      new std::vector<size_t>{1, 2, 4};
+  return *sweep;
+}
+
+struct StrategyResult {
+  double qps = 0;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  uint64_t shed = 0;  ///< kOverloaded replies (excluded from QPS).
+};
+
+double PercentileMs(std::vector<double>* latencies_ms, double p) {
+  if (latencies_ms->empty()) return 0;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(latencies_ms->size()));
+  return (*latencies_ms)[std::min(rank, latencies_ms->size() - 1)];
+}
+
+/// One client thread's work: `quota` queries against `address`, grouped
+/// `frame_batch` queries per frame, `window` frames in flight. Appends
+/// per-reply round-trip latencies (ms) to `latencies_ms`.
+void RunClient(const std::string& address, const Workload& workload,
+               size_t quota, size_t frame_batch, size_t window,
+               std::vector<double>* latencies_ms, uint64_t* ok_queries,
+               uint64_t* shed) {
+  StatusOr<serve::Client> client = serve::Client::Connect(address);
+  FLOOD_CHECK(client.ok());
+  const std::vector<Query>& pool = workload.queries();
+  size_t next_query = 0;
+  auto take = [&](size_t n) {
+    std::vector<Query> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(pool[next_query++ % pool.size()]);
+    }
+    return batch;
+  };
+
+  size_t sent_queries = 0;
+  uint64_t next_id = 1;
+  while (sent_queries < quota) {
+    // Fill the window...
+    std::vector<std::pair<uint64_t, Stopwatch>> inflight;
+    for (size_t w = 0; w < window && sent_queries < quota; ++w) {
+      const size_t n = std::min(frame_batch, quota - sent_queries);
+      const uint64_t id = next_id++;
+      inflight.emplace_back(id, Stopwatch());
+      FLOOD_CHECK(client->SendRunBatch(id, take(n)).ok());
+      sent_queries += n;
+    }
+    // ...then drain it.
+    for (size_t w = 0; w < inflight.size(); ++w) {
+      StatusOr<serve::BatchResultResponse> reply = client->ReadBatchReply();
+      FLOOD_CHECK(reply.ok());
+      if (reply->code == serve::WireCode::kOverloaded) {
+        ++*shed;
+        continue;
+      }
+      FLOOD_CHECK(reply->code == serve::WireCode::kOk);
+      *ok_queries += reply->results.size();
+      // Replies can arrive out of order; match the send time by id.
+      for (auto& [id, watch] : inflight) {
+        if (id == reply->request_id) {
+          latencies_ms->push_back(watch.ElapsedMillis());
+          break;
+        }
+      }
+    }
+  }
+}
+
+StrategyResult RunStrategy(const std::string& address,
+                           const Workload& workload, size_t connections,
+                           size_t queries_per_conn, size_t frame_batch,
+                           size_t window) {
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<uint64_t> ok(connections, 0);
+  std::vector<uint64_t> shed(connections, 0);
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      RunClient(address, workload, queries_per_conn, frame_batch, window,
+                &latencies[c], &ok[c], &shed[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+
+  StrategyResult r;
+  uint64_t total_ok = 0;
+  std::vector<double> all;
+  for (size_t c = 0; c < connections; ++c) {
+    total_ok += ok[c];
+    r.shed += shed[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  r.wall_ms = wall_ms;
+  r.qps = wall_ms > 0 ? static_cast<double>(total_ok) / (wall_ms / 1e3) : 0;
+  r.p50_ms = PercentileMs(&all, 50);
+  r.p95_ms = PercentileMs(&all, 95);
+  r.p99_ms = PercentileMs(&all, 99);
+  return r;
+}
+
+std::vector<BenchRow> Run() {
+  std::vector<BenchRow> rows;
+  const size_t threads = BenchThreads();
+
+  struct Strategy {
+    const char* name;
+    size_t frame_batch;
+    size_t window;
+  };
+  const std::vector<Strategy> strategies = {
+      {"single", 1, 1},
+      {"pipelined", 1, kWindow},
+      {"framebatch", kWindow, 1},
+  };
+
+  std::vector<std::string> header{"dataset", "conns"};
+  for (const Strategy& s : strategies) {
+    header.push_back(std::string(s.name) + " QPS");
+  }
+  header.push_back("pipelined/single");
+  header.push_back("p95 piped (ms)");
+  std::vector<std::vector<std::string>> table;
+
+  for (const std::string& ds_name : DatasetSweep()) {
+    const BenchDataset& ds = GetDataset(ds_name);
+    const size_t nq = NumQueries(2'000);
+    const auto [train, test] =
+        MakeWorkload(ds, WorkloadKind::kOlapSkewed, 400, 311).Split(0.5,
+                                                                    312);
+    DatabaseOptions options;
+    options.num_threads = threads;
+    StatusOr<Database> db = OpenDatabase("flood", ds.table, train,
+                                         std::move(options));
+    FLOOD_CHECK(db.ok());
+
+    serve::ServerOptions sopts;
+    sopts.uds_path = "/tmp/flood_bench_serving_" +
+                     std::to_string(::getpid()) + "_" + ds_name + ".sock";
+    // The bench measures batching, not shedding: keep admission control
+    // out of the way (kWindow in-flight frames per connection is normal
+    // pipelining, not overload).
+    sopts.max_inflight_batches = 256;
+    sopts.max_inflight_per_connection = 4 * kWindow;
+    StatusOr<std::unique_ptr<serve::Server>> server =
+        serve::Server::Create(&*db, std::move(sopts));
+    FLOOD_CHECK(server.ok());
+    (*server)->Start();
+    const std::string address = "unix:" + (*server)->uds_path();
+
+    for (size_t conns : ConnectionSweep()) {
+      const size_t per_conn = std::max<size_t>(kWindow, nq / conns);
+      std::vector<std::string> row{ds_name, std::to_string(conns)};
+      double single_qps = 0;
+      double piped_qps = 0;
+      double piped_p95 = 0;
+      for (const Strategy& s : strategies) {
+        // Warm-up (index caches, socket buffers), then the measured run.
+        (void)RunStrategy(address, test, conns, per_conn / 4 + 1,
+                          s.frame_batch, s.window);
+        const StrategyResult r = RunStrategy(address, test, conns,
+                                             per_conn, s.frame_batch,
+                                             s.window);
+        FLOOD_CHECK(r.shed == 0);
+        if (std::string(s.name) == "single") single_qps = r.qps;
+        if (std::string(s.name) == "pipelined") {
+          piped_qps = r.qps;
+          piped_p95 = r.p95_ms;
+        }
+        row.push_back(Format(r.qps, 0));
+        rows.push_back(
+            {"Serving/" + ds_name + "/c" + std::to_string(conns) + "/" +
+                 s.name,
+             r.wall_ms,
+             {{"qps", r.qps},
+              {"connections", static_cast<double>(conns)},
+              {"frame_batch", static_cast<double>(s.frame_batch)},
+              {"window", static_cast<double>(s.window)},
+              {"p50_ms", r.p50_ms},
+              {"p95_ms", r.p95_ms},
+              {"p99_ms", r.p99_ms}}});
+      }
+      row.push_back(single_qps > 0 ? Format(piped_qps / single_qps, 2) + "x"
+                                   : "N/A");
+      row.push_back(FormatMs(piped_p95));
+      table.push_back(row);
+    }
+
+    (*server)->Shutdown();
+    (*server)->Join();
+  }
+
+  PrintTable("Wire-protocol serving QPS (connections x batching strategy)",
+             header, table);
+  return rows;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace flood
+
+FLOOD_BENCH_MAIN(flood::bench::Run)

@@ -11,8 +11,6 @@
 // axis (default: sales, the acceptance dataset); FLOOD_BENCH_QUERIES sets
 // the batch size.
 
-#include <sstream>
-
 #include "bench/bench_main.h"
 
 namespace flood {
@@ -25,20 +23,6 @@ std::vector<size_t> ThreadSweep() {
   for (size_t t = 1; t < max_threads; t *= 2) sweep.push_back(t);
   sweep.push_back(max_threads);
   return sweep;
-}
-
-std::vector<std::string> DatasetSweep() {
-  const char* env = std::getenv("FLOOD_BENCH_DATASETS");
-  if (env == nullptr) return {"sales"};
-  const std::string spec(env);
-  if (spec == "all") return AllDatasetNames();
-  std::vector<std::string> names;
-  std::stringstream ss(spec);
-  std::string name;
-  while (std::getline(ss, name, ',')) {
-    if (!name.empty()) names.push_back(name);
-  }
-  return names.empty() ? std::vector<std::string>{"sales"} : names;
 }
 
 std::vector<BenchRow> Run() {

@@ -1,6 +1,7 @@
 #include "api/database.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <utility>
 
@@ -302,16 +303,21 @@ void Database::RunShard(std::span<const Query> queries, size_t begin,
   }
 }
 
-BatchResult Database::RunBatch(std::span<const Query> queries) {
-  BatchResult batch;
+Status Database::ValidateBatch(std::span<const Query> queries) const {
   for (size_t i = 0; i < queries.size(); ++i) {
     const Status arity = ValidateArity(queries[i]);
     if (!arity.ok()) {
-      batch.status = Status::InvalidArgument(
-          "batch query " + std::to_string(i) + ": " + arity.message());
-      return batch;
+      return Status::InvalidArgument("batch query " + std::to_string(i) +
+                                     ": " + arity.message());
     }
   }
+  return Status::OK();
+}
+
+BatchResult Database::RunBatch(std::span<const Query> queries) {
+  BatchResult batch;
+  batch.status = ValidateBatch(queries);
+  if (!batch.status.ok()) return batch;
 
   const Stopwatch wall;
   const size_t n = queries.size();
@@ -339,20 +345,96 @@ BatchResult Database::RunBatch(std::span<const Query> queries) {
   }
   batch.wall_ms = wall.ElapsedMillis();
 
-  {
-    std::lock_guard<std::mutex> lock(telemetry_->mu);
-    telemetry_->stats.Merge(batch.stats);
-    telemetry_->queries_run += n;
-    telemetry_->empty_skipped += batch.empty_skipped;
-    for (size_t i = 0; i < n; ++i) {
-      if (!batch.results[i].skipped_empty) RecordQueryLocked(queries[i]);
-    }
-  }
+  FoldBatchTelemetry(queries, batch);
   return batch;
 }
 
 BatchResult Database::RunBatch(const Workload& workload) {
   return RunBatch(std::span<const Query>(workload.queries()));
+}
+
+void Database::FoldBatchTelemetry(std::span<const Query> queries,
+                                  const BatchResult& batch) {
+  std::lock_guard<std::mutex> lock(telemetry_->mu);
+  telemetry_->stats.Merge(batch.stats);
+  telemetry_->queries_run += queries.size();
+  telemetry_->empty_skipped += batch.empty_skipped;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!batch.results[i].skipped_empty) RecordQueryLocked(queries[i]);
+  }
+}
+
+void Database::RunBatchAsync(std::span<const Query> queries,
+                             std::function<void(BatchResult)> on_done) {
+  {
+    Status status = ValidateBatch(queries);
+    if (!status.ok()) {
+      BatchResult batch;
+      batch.status = std::move(status);
+      on_done(std::move(batch));
+      return;
+    }
+  }
+  if (pool_ == nullptr) {
+    // No pool (num_threads == 1): the synchronous path, completed before
+    // this returns.
+    on_done(RunBatch(queries));
+    return;
+  }
+
+  // Shared completion state: shards decrement `remaining`, and whichever
+  // worker hits zero merges, folds telemetry, and fires the callback. No
+  // shard ever waits on another shard (the ThreadPool forbids that), so
+  // any number of async batches can be in flight on one pool.
+  struct AsyncBatch {
+    std::vector<Query> queries;  ///< Owned copy; outlives the caller's span.
+    BatchResult batch;
+    std::vector<ShardAccum> accums;
+    std::atomic<size_t> remaining{0};
+    Stopwatch wall;  ///< Starts at submission: wall_ms includes queue wait.
+    std::function<void(BatchResult)> on_done;
+  };
+  auto state = std::make_shared<AsyncBatch>();
+  state->queries.assign(queries.begin(), queries.end());
+  state->on_done = std::move(on_done);
+  const size_t n = state->queries.size();
+  state->batch.results.resize(n);
+  const size_t shards = std::max<size_t>(1, std::min(pool_->num_threads(), n));
+  state->accums.resize(shards);
+  state->remaining.store(shards, std::memory_order_relaxed);
+
+  // Same contiguous near-equal carve as ParallelFor, so the async result
+  // is field-for-field what the synchronous RunBatch would have produced.
+  const size_t base = n / shards;
+  const size_t extra = n % shards;
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t end = begin + base + (s < extra ? 1 : 0);
+    pool_->Submit([this, state, s, begin, end] {
+      RunShard(state->queries, begin, end, state->batch.results.data(),
+               &state->accums[s]);
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        for (const ShardAccum& acc : state->accums) {
+          state->batch.stats.Merge(acc.stats);
+          state->batch.empty_skipped += acc.empty_skipped;
+        }
+        state->batch.wall_ms = state->wall.ElapsedMillis();
+        FoldBatchTelemetry(state->queries, state->batch);
+        state->on_done(std::move(state->batch));
+      }
+    });
+    begin = end;
+  }
+}
+
+std::future<BatchResult> Database::RunBatchAsync(
+    std::span<const Query> queries) {
+  auto promise = std::make_shared<std::promise<BatchResult>>();
+  std::future<BatchResult> future = promise->get_future();
+  RunBatchAsync(queries, [promise](BatchResult batch) {
+    promise->set_value(std::move(batch));
+  });
+  return future;
 }
 
 // --- Writes ---------------------------------------------------------------

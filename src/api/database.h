@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -243,6 +245,38 @@ class Database {
   BatchResult RunBatch(std::span<const Query> queries);
   BatchResult RunBatch(const Workload& workload);
 
+  /// Submits the batch for execution on the pool and returns immediately;
+  /// the future is fulfilled (by the last worker to finish) with exactly
+  /// the BatchResult a synchronous RunBatch of the same span would have
+  /// produced — same sharding, same deterministic shard-order stats merge,
+  /// same telemetry fold. The queries are copied, so the caller's span may
+  /// die as soon as this returns.
+  ///
+  /// Concurrency: async batches interleave freely with each other and with
+  /// Run/Collect/Insert/Delete/Compact — each shard takes the shared side
+  /// of the delta seam like any query, so a batch submitted before a
+  /// compaction may observe the index either side of the swap, but never a
+  /// torn state. With num_threads == 1 (no pool) the batch executes
+  /// synchronously on the calling thread and the returned future is
+  /// already ready.
+  ///
+  /// Lifetime: the Database must not be destroyed or moved while async
+  /// batches are in flight (the pool drains at destruction, but the shards
+  /// dereference this object — wait on or drop your futures first; see
+  /// also the serving tier's drain in src/serve/server.h).
+  std::future<BatchResult> RunBatchAsync(std::span<const Query> queries);
+
+  /// Event-loop flavor: as RunBatchAsync, but `on_done` fires exactly once
+  /// with the finished result, on whichever pool worker completed the
+  /// batch last (or on the calling thread when there is no pool, before
+  /// this returns). The callback must not call back into batch submission
+  /// of this database from a pool worker and must not block — hand the
+  /// result off (e.g. write an eventfd) and return. This is the primitive
+  /// the epoll server in src/serve uses to get completion wakeups without
+  /// a future-polling thread.
+  void RunBatchAsync(std::span<const Query> queries,
+                     std::function<void(BatchResult)> on_done);
+
   // --- Persistence --------------------------------------------------------
 
   /// Writes a snapshot of the full logical state (base table in storage
@@ -442,6 +476,10 @@ class Database {
 
   Status ValidateArity(const Query& query) const;
 
+  /// Batch-level arity validation: the error names the first offending
+  /// query, and the whole batch is rejected before any worker starts.
+  Status ValidateBatch(std::span<const Query> queries) const;
+
   /// Executes one aggregation query with no telemetry side effects;
   /// const and re-entrant (the unit of work RunBatch parallelizes).
   /// Takes the shared side of the delta seam for its full duration.
@@ -490,6 +528,11 @@ class Database {
 
   void RecordTelemetry(const Query& query, const QueryResult& result);
 
+  /// Folds a finished batch into the cumulative telemetry + history ring;
+  /// called once per batch, from RunBatch or the last async shard.
+  void FoldBatchTelemetry(std::span<const Query> queries,
+                          const BatchResult& batch);
+
   /// Appends one executed query to the history ring; caller holds the
   /// telemetry mutex.
   void RecordQueryLocked(const Query& query);
@@ -500,9 +543,13 @@ class Database {
 
   size_t num_dims_ = 0;
   size_t num_threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;  ///< Null when num_threads_ == 1.
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<WriteState> write_;
+  /// Null when num_threads_ == 1. Declared last on purpose: ~ThreadPool
+  /// drains every queued task, and RunBatchAsync shards dereference the
+  /// members above — destroying the pool first keeps them alive until the
+  /// last in-flight shard has run.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace flood

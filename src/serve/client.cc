@@ -1,0 +1,292 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace flood {
+namespace serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      assembler_(std::move(other.assembler_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    assembler_ = std::move(other.assembler_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<Client> Client::Connect(const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    struct sockaddr_un addr;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("bad unix socket path: " + path);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Errno("socket(unix)");
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      const Status status = Errno("connect(" + path + ")");
+      ::close(fd);
+      return status;
+    }
+    return Client(fd);
+  }
+
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument(
+        "address must be unix:<path> or <ipv4>:<port>, got: " + address);
+  }
+  const std::string host = address.substr(0, colon);
+  const long port = std::atol(address.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in address: " + address);
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket(tcp)");
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Errno("connect(" + address + ")");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> Client::ReadFrame() {
+  Frame frame;
+  for (;;) {
+    switch (assembler_.Next(&frame)) {
+      case FrameAssembler::Result::kFrame:
+        return frame;
+      case FrameAssembler::Result::kBad:
+        return Status::Internal("response stream corrupt: " +
+                                assembler_.error());
+      case FrameAssembler::Result::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Internal("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    assembler_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Status Client::Ping() {
+  const uint64_t id = NextId();
+  std::string out;
+  AppendPing({id}, &out);
+  FLOOD_RETURN_IF_ERROR(WriteAll(out));
+  StatusOr<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kPong) {
+    StatusOr<PongResponse> pong = ParsePong(frame->payload);
+    if (!pong.ok()) return pong.status();
+    if (pong->request_id != id) {
+      return Status::Internal("pong for the wrong request id");
+    }
+    return Status::OK();
+  }
+  if (frame->type == MessageType::kError) {
+    StatusOr<ErrorResponse> err = ParseError(frame->payload);
+    if (!err.ok()) return err.status();
+    return StatusFromWireCode(err->code, err->message);
+  }
+  return Status::Internal("unexpected response frame to Ping");
+}
+
+Status Client::SendRunBatch(uint64_t request_id,
+                            std::span<const Query> queries) {
+  RunBatchRequest req;
+  req.request_id = request_id;
+  req.queries.assign(queries.begin(), queries.end());
+  std::string out;
+  AppendRunBatch(req, &out);
+  return WriteAll(out);
+}
+
+StatusOr<BatchResultResponse> Client::ReadBatchReply() {
+  StatusOr<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kBatchResult) {
+    return ParseBatchResult(frame->payload);
+  }
+  if (frame->type == MessageType::kError) {
+    StatusOr<ErrorResponse> err = ParseError(frame->payload);
+    if (!err.ok()) return err.status();
+    // Normalize transport-level sheds into the reply's typed code so the
+    // caller handles kOverloaded/kShuttingDown uniformly.
+    BatchResultResponse resp;
+    resp.request_id = err->request_id;
+    resp.code = err->code;
+    resp.message = err->message;
+    return resp;
+  }
+  return Status::Internal("unexpected response frame to RunBatch");
+}
+
+StatusOr<BatchResultResponse> Client::RunBatch(
+    std::span<const Query> queries) {
+  const uint64_t id = NextId();
+  FLOOD_RETURN_IF_ERROR(SendRunBatch(id, queries));
+  StatusOr<BatchResultResponse> reply = ReadBatchReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->request_id != id && reply->request_id != 0) {
+    return Status::Internal("batch reply for the wrong request id");
+  }
+  return reply;
+}
+
+namespace {
+
+/// Shared ack handling for the three write RPCs.
+StatusOr<WriteAckResponse> ExpectWriteAck(StatusOr<Frame> frame,
+                                          uint64_t id) {
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kWriteAck) {
+    StatusOr<WriteAckResponse> ack = ParseWriteAck(frame->payload);
+    if (!ack.ok()) return ack.status();
+    if (ack->request_id != id) {
+      return Status::Internal("write ack for the wrong request id");
+    }
+    return ack;
+  }
+  if (frame->type == MessageType::kError) {
+    StatusOr<ErrorResponse> err = ParseError(frame->payload);
+    if (!err.ok()) return err.status();
+    return StatusFromWireCode(err->code, err->message);
+  }
+  return Status::Internal("unexpected response frame to a write");
+}
+
+}  // namespace
+
+Status Client::Insert(const std::vector<Value>& row) {
+  const uint64_t id = NextId();
+  InsertRequest req;
+  req.request_id = id;
+  req.row = row;
+  std::string out;
+  AppendInsert(req, &out);
+  FLOOD_RETURN_IF_ERROR(WriteAll(out));
+  StatusOr<WriteAckResponse> ack = ExpectWriteAck(ReadFrame(), id);
+  if (!ack.ok()) return ack.status();
+  return StatusFromWireCode(ack->code, ack->message);
+}
+
+Status Client::InsertBatch(std::span<const std::vector<Value>> rows) {
+  const uint64_t id = NextId();
+  InsertBatchRequest req;
+  req.request_id = id;
+  req.rows.assign(rows.begin(), rows.end());
+  std::string out;
+  AppendInsertBatch(req, &out);
+  FLOOD_RETURN_IF_ERROR(WriteAll(out));
+  StatusOr<WriteAckResponse> ack = ExpectWriteAck(ReadFrame(), id);
+  if (!ack.ok()) return ack.status();
+  return StatusFromWireCode(ack->code, ack->message);
+}
+
+StatusOr<uint64_t> Client::Delete(const std::vector<Value>& key) {
+  const uint64_t id = NextId();
+  DeleteRequest req;
+  req.request_id = id;
+  req.key = key;
+  std::string out;
+  AppendDelete(req, &out);
+  FLOOD_RETURN_IF_ERROR(WriteAll(out));
+  StatusOr<WriteAckResponse> ack = ExpectWriteAck(ReadFrame(), id);
+  if (!ack.ok()) return ack.status();
+  if (ack->code != WireCode::kOk) {
+    return StatusFromWireCode(ack->code, ack->message);
+  }
+  return ack->deleted;
+}
+
+StatusOr<std::vector<std::pair<std::string, double>>> Client::Stats() {
+  const uint64_t id = NextId();
+  std::string out;
+  AppendStats({id}, &out);
+  FLOOD_RETURN_IF_ERROR(WriteAll(out));
+  StatusOr<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kStatsResult) {
+    StatusOr<StatsResponse> resp = ParseStatsResult(frame->payload);
+    if (!resp.ok()) return resp.status();
+    if (resp->request_id != id) {
+      return Status::Internal("stats reply for the wrong request id");
+    }
+    return std::move(resp->entries);
+  }
+  if (frame->type == MessageType::kError) {
+    StatusOr<ErrorResponse> err = ParseError(frame->payload);
+    if (!err.ok()) return err.status();
+    return StatusFromWireCode(err->code, err->message);
+  }
+  return Status::Internal("unexpected response frame to Stats");
+}
+
+}  // namespace serve
+}  // namespace flood

@@ -1,0 +1,83 @@
+#ifndef FLOOD_SERVE_CLIENT_H_
+#define FLOOD_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace flood {
+namespace serve {
+
+/// Small blocking client for the flood wire protocol, used by the tests,
+/// the serving bench, and examples/serve_client. One socket, synchronous
+/// request/response by default; the Send*/ReadBatchReply split supports
+/// pipelining many requests onto the connection before reading replies
+/// (which is what the server's per-connection batching amortizes).
+///
+/// Not thread-safe: one Client per thread.
+class Client {
+ public:
+  /// `address` is "unix:<path>" for a Unix-domain socket or
+  /// "<ipv4>:<port>" for TCP (numeric address, e.g. "127.0.0.1:7878").
+  static StatusOr<Client> Connect(const std::string& address);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Round-trips a Ping; OK means the server's event loop is alive (it
+  /// answers Ping even while overloaded or draining).
+  Status Ping();
+
+  /// Executes a batch of aggregation queries server-side and returns the
+  /// per-query results. Transport failures surface as a non-OK Status;
+  /// application-level outcomes — including kOverloaded sheds and
+  /// kShuttingDown — come back in BatchResultResponse::code, so callers
+  /// can distinguish "retry later" from "broken".
+  StatusOr<BatchResultResponse> RunBatch(std::span<const Query> queries);
+
+  Status Insert(const std::vector<Value>& row);
+  Status InsertBatch(std::span<const std::vector<Value>> rows);
+  /// Returns the number of logical rows deleted.
+  StatusOr<uint64_t> Delete(const std::vector<Value>& key);
+
+  /// The server's introspection map (serve.* counters + db.* gauges).
+  StatusOr<std::vector<std::pair<std::string, double>>> Stats();
+
+  // --- Pipelining ----------------------------------------------------------
+
+  /// Enqueues one RunBatch frame without waiting for the reply. Pair each
+  /// call with one ReadBatchReply(); replies must be matched by
+  /// request_id, not order.
+  Status SendRunBatch(uint64_t request_id, std::span<const Query> queries);
+
+  /// Blocks for the next RunBatch-shaped reply (kBatchResult, or a typed
+  /// kError such as an overload shed, normalized into ::code).
+  StatusOr<BatchResultResponse> ReadBatchReply();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status WriteAll(std::string_view bytes);
+  /// Blocks until one complete frame arrives (or the peer closes / the
+  /// stream goes bad).
+  StatusOr<Frame> ReadFrame();
+
+  uint64_t NextId() { return next_id_++; }
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace serve
+}  // namespace flood
+
+#endif  // FLOOD_SERVE_CLIENT_H_

@@ -1,0 +1,735 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace flood {
+namespace serve {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void BumpHwm(std::atomic<uint64_t>& hwm, uint64_t depth) {
+  uint64_t seen = hwm.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !hwm.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+/// All connection state is owned by the event loop thread. `dead` marks a
+/// connection doomed mid-event-batch: the fd is closed and the maps erased
+/// only after the whole epoll batch (and the completion drain) has been
+/// processed, so a stale event or completion can never touch a recycled
+/// fd's new owner.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  bool is_tcp = false;
+  FrameAssembler assembler;
+  std::string outbuf;
+  size_t out_pos = 0;
+  /// Admitted RunBatch frames not yet answered (per-connection cap).
+  size_t inflight_frames = 0;
+  /// Submitted batch groups not yet completed (close barrier).
+  size_t inflight_groups = 0;
+  /// No further reads; close once inflight_groups == 0 and outbuf drained.
+  bool closing = false;
+  bool dead = false;
+  uint32_t events = 0;  ///< Current epoll interest set.
+  std::chrono::steady_clock::time_point last_activity;
+};
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() {
+  if (loop_thread_.joinable()) {
+    Shutdown();
+    Join();
+  }
+  for (auto& [fd, conn] : conns_) {
+    (void)fd;
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  if (uds_listen_fd_ >= 0) {
+    ::close(uds_listen_fd_);
+    if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (shutdown_fd_ >= 0) ::close(shutdown_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Create(Database* db,
+                                                 ServerOptions options) {
+  FLOOD_CHECK(db != nullptr);
+  if (options.uds_path.empty() && !options.listen_tcp) {
+    return Status::InvalidArgument(
+        "server needs at least one listener (uds_path or listen_tcp)");
+  }
+  std::unique_ptr<Server> server(new Server(db, std::move(options)));
+  FLOOD_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+Status Server::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd(wake)");
+  shutdown_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (shutdown_fd_ < 0) return Errno("eventfd(shutdown)");
+
+  auto watch = [this](int fd) -> Status {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Errno("epoll_ctl(ADD)");
+    }
+    return Status::OK();
+  };
+  FLOOD_RETURN_IF_ERROR(watch(wake_fd_));
+  FLOOD_RETURN_IF_ERROR(watch(shutdown_fd_));
+
+  if (options_.listen_tcp) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                           SOCK_CLOEXEC, 0);
+    if (tcp_listen_fd_ < 0) return Errno("socket(tcp)");
+    const int one = 1;
+    (void)::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.tcp_port);
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) !=
+        1) {
+      return Status::InvalidArgument("bad tcp_host " + options_.tcp_host);
+    }
+    if (::bind(tcp_listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Errno("bind(" + options_.tcp_host + ":" +
+                   std::to_string(options_.tcp_port) + ")");
+    }
+    if (::listen(tcp_listen_fd_, 128) < 0) return Errno("listen(tcp)");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_listen_fd_,
+                      reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+      return Errno("getsockname");
+    }
+    tcp_port_ = ntohs(addr.sin_port);
+    FLOOD_RETURN_IF_ERROR(watch(tcp_listen_fd_));
+  }
+
+  if (!options_.uds_path.empty()) {
+    struct sockaddr_un addr;
+    if (options_.uds_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("uds_path too long: " +
+                                     options_.uds_path);
+    }
+    uds_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK |
+                                           SOCK_CLOEXEC, 0);
+    if (uds_listen_fd_ < 0) return Errno("socket(unix)");
+    ::unlink(options_.uds_path.c_str());  // Stale socket from a crash.
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(uds_listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Errno("bind(" + options_.uds_path + ")");
+    }
+    if (::listen(uds_listen_fd_, 128) < 0) return Errno("listen(unix)");
+    FLOOD_RETURN_IF_ERROR(watch(uds_listen_fd_));
+  }
+  return Status::OK();
+}
+
+void Server::Run() { Loop(); }
+
+void Server::Start() {
+  FLOOD_CHECK(!started_);
+  started_ = true;
+  loop_thread_ = std::thread([this] { Loop(); });
+}
+
+void Server::Shutdown() {
+  // Async-signal-safe: a single write(2) on an eventfd.
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(shutdown_fd_, &one, sizeof(one));
+}
+
+void Server::Join() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+// --- Event loop ------------------------------------------------------------
+
+void Server::Loop() {
+  std::vector<int> doomed;
+  while (!loop_done_) {
+    int timeout_ms = -1;
+    if (options_.idle_timeout_ms > 0) {
+      timeout_ms = static_cast<int>(
+          std::min<int64_t>(options_.idle_timeout_ms / 2 + 1, 1000));
+    }
+    if (draining_) timeout_ms = 100;
+
+    struct epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0 && errno != EINTR) break;  // Unrecoverable epoll failure.
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t tickets;
+        while (::read(wake_fd_, &tickets, sizeof(tickets)) > 0) {
+        }
+        // Completions drained below, once per iteration.
+        continue;
+      }
+      if (fd == shutdown_fd_) {
+        uint64_t tickets;
+        while (::read(shutdown_fd_, &tickets, sizeof(tickets)) > 0) {
+        }
+        BeginDrain();
+        continue;
+      }
+      if (fd == tcp_listen_fd_ || fd == uds_listen_fd_) {
+        HandleAccept(fd);
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end() || it->second->dead) continue;
+      Connection* conn = it->second.get();
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (ev & (EPOLLIN | EPOLLRDHUP)) HandleReadable(conn);
+      if (conn->dead) continue;
+      if (ev & EPOLLOUT) HandleWritable(conn);
+    }
+
+    DrainCompletions();
+
+    if (options_.idle_timeout_ms > 0) SweepIdle();
+
+    // Bury doomed connections only after every event and completion of
+    // this iteration has been dispatched, so nothing touches a recycled
+    // fd.
+    doomed.clear();
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->dead) doomed.push_back(fd);
+    }
+    for (int fd : doomed) {
+      auto it = conns_.find(fd);
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      ::close(fd);
+      by_id_.erase(it->second->id);
+      conns_.erase(it);
+      counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    if (draining_ && draining_done()) loop_done_ = true;
+  }
+}
+
+bool Server::draining_done() const {
+  if (!conns_.empty()) return false;
+  if (counters_.queue_depth.load(std::memory_order_relaxed) != 0) {
+    // Batches still on the pool reference this server through their
+    // completion callbacks — the drain must outlive them.
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(completions_mu_);
+  return completions_.empty();
+}
+
+void Server::BeginDrain() {
+  if (draining_) return;
+  draining_ = true;
+  if (tcp_listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, tcp_listen_fd_, nullptr);
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  if (uds_listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, uds_listen_fd_, nullptr);
+    ::close(uds_listen_fd_);
+    uds_listen_fd_ = -1;
+    ::unlink(options_.uds_path.c_str());
+  }
+  // Final read pass: requests already in a socket buffer at drain time
+  // are still answered — executed if admitted, or shed with a typed
+  // kShuttingDown (HandleFrame's draining_ branch). MaybeFinish (via
+  // ProcessFrames) then closes each connection as soon as it has nothing
+  // in flight and nothing left to flush; busy ones close when their
+  // completions land.
+  for (auto& [fd, conn] : conns_) {
+    (void)fd;
+    if (!conn->dead) HandleReadable(conn.get());
+  }
+}
+
+void Server::HandleAccept(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept4(listener_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or transient error): nothing to accept.
+    if (draining_ || conns_.size() >= options_.max_connections) {
+      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->is_tcp = listener_fd == tcp_listen_fd_;
+    conn->last_activity = std::chrono::steady_clock::now();
+    conn->events = EPOLLIN | EPOLLRDHUP;
+    if (conn->is_tcp) {
+      // Responses are small framed messages; never wait on Nagle.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = conn->events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    by_id_[conn->id] = conn.get();
+    conns_[fd] = std::move(conn);
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  if (conn->closing) {
+    // Reads are done for this connection; swallow and drop.
+    char buf[kReadChunk];
+    while (::recv(conn->fd, buf, sizeof(buf), 0) > 0) {
+    }
+    return;
+  }
+  bool peer_closed = false;
+  char buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      counters_.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                   std::memory_order_relaxed);
+      conn->assembler.Feed(buf, static_cast<size_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  ProcessFrames(conn);
+  if (peer_closed && !conn->dead) {
+    // The peer is gone; any response we could still produce has no reader.
+    CloseConnection(conn);
+  }
+}
+
+void Server::ProcessFrames(Connection* conn) {
+  // Per-connection batching: every complete RunBatch frame buffered right
+  // now joins ONE RunBatchAsync submission — one reader-lock acquisition
+  // for the whole group.
+  std::vector<GroupFrame> group;
+  std::vector<Query> group_queries;
+  Frame frame;
+  for (;;) {
+    const FrameAssembler::Result r = conn->assembler.Next(&frame);
+    if (r == FrameAssembler::Result::kNeedMore) break;
+    if (r == FrameAssembler::Result::kBad) {
+      counters_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, conn->assembler.error_code(),
+                conn->assembler.error());
+      conn->closing = true;
+      break;
+    }
+    counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+    HandleFrame(conn, frame, &group, &group_queries);
+    if (conn->dead || conn->closing) break;
+  }
+  if (!group.empty()) {
+    SubmitGroup(conn, std::move(group), std::move(group_queries));
+  }
+  if (!conn->dead) {
+    FlushOrArm(conn);
+    MaybeFinish(conn);
+  }
+}
+
+void Server::HandleFrame(Connection* conn, const Frame& frame,
+                         std::vector<GroupFrame>* group,
+                         std::vector<Query>* group_queries) {
+  switch (frame.type) {
+    case MessageType::kPing: {
+      StatusOr<PingRequest> req = ParsePing(frame.payload);
+      if (!req.ok()) break;
+      // Answered inline, never queued: Ping stays responsive under
+      // overload and during drain — it is the liveness probe.
+      AppendPong({req->request_id}, &conn->outbuf);
+      return;
+    }
+    case MessageType::kRunBatch: {
+      StatusOr<RunBatchRequest> req = ParseRunBatch(frame.payload);
+      if (!req.ok()) break;
+      if (draining_) {
+        counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, req->request_id, WireCode::kShuttingDown,
+                  "server is draining");
+        return;
+      }
+      const uint64_t depth =
+          counters_.queue_depth.load(std::memory_order_relaxed);
+      if (depth >= options_.max_inflight_batches ||
+          conn->inflight_frames >= options_.max_inflight_per_connection) {
+        counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, req->request_id, WireCode::kOverloaded,
+                  depth >= options_.max_inflight_batches
+                      ? "submission queue full"
+                      : "connection in-flight cap reached");
+        return;
+      }
+      GroupFrame gf;
+      gf.request_id = req->request_id;
+      gf.offset = group_queries->size();
+      gf.count = req->queries.size();
+      group->push_back(gf);
+      ++conn->inflight_frames;
+      for (Query& q : req->queries) group_queries->push_back(std::move(q));
+      return;
+    }
+    case MessageType::kInsert: {
+      StatusOr<InsertRequest> req = ParseInsert(frame.payload);
+      if (!req.ok()) break;
+      WriteAckResponse ack;
+      ack.request_id = req->request_id;
+      if (draining_) {
+        ack.code = WireCode::kShuttingDown;
+        ack.message = "server is draining";
+        counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const Status status = db_->Insert(req->row);
+        ack.code = WireCodeFromStatus(status);
+        ack.message = status.message();
+        counters_.writes_applied.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendWriteAck(ack, &conn->outbuf);
+      return;
+    }
+    case MessageType::kInsertBatch: {
+      StatusOr<InsertBatchRequest> req = ParseInsertBatch(frame.payload);
+      if (!req.ok()) break;
+      WriteAckResponse ack;
+      ack.request_id = req->request_id;
+      if (draining_) {
+        ack.code = WireCode::kShuttingDown;
+        ack.message = "server is draining";
+        counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        const Status status = db_->InsertBatch(req->rows);
+        ack.code = WireCodeFromStatus(status);
+        ack.message = status.message();
+        counters_.writes_applied.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendWriteAck(ack, &conn->outbuf);
+      return;
+    }
+    case MessageType::kDelete: {
+      StatusOr<DeleteRequest> req = ParseDelete(frame.payload);
+      if (!req.ok()) break;
+      WriteAckResponse ack;
+      ack.request_id = req->request_id;
+      if (draining_) {
+        ack.code = WireCode::kShuttingDown;
+        ack.message = "server is draining";
+        counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        StatusOr<size_t> deleted = db_->Delete(req->key);
+        if (deleted.ok()) {
+          ack.deleted = *deleted;
+        } else {
+          ack.code = WireCodeFromStatus(deleted.status());
+          ack.message = deleted.status().message();
+        }
+        counters_.writes_applied.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendWriteAck(ack, &conn->outbuf);
+      return;
+    }
+    case MessageType::kStats: {
+      StatusOr<StatsRequest> req = ParseStats(frame.payload);
+      if (!req.ok()) break;
+      StatsResponse resp;
+      resp.request_id = req->request_id;
+      resp.entries = Introspect();
+      AppendStatsResult(resp, &conn->outbuf);
+      return;
+    }
+    default:
+      // Response-typed or unknown frames from a client are a protocol
+      // violation.
+      break;
+  }
+  counters_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+  SendError(conn, 0, WireCode::kBadFrame,
+            "unparseable or unexpected frame (type " +
+                std::to_string(static_cast<int>(frame.type)) + ")");
+  conn->closing = true;
+}
+
+void Server::SubmitGroup(Connection* conn, std::vector<GroupFrame> frames,
+                         std::vector<Query> queries) {
+  counters_.batches_submitted.fetch_add(1, std::memory_order_relaxed);
+  counters_.queries_executed.fetch_add(queries.size(),
+                                       std::memory_order_relaxed);
+  const uint64_t depth =
+      counters_.queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  BumpHwm(counters_.queue_depth_hwm, depth);
+  ++conn->inflight_groups;
+
+  const uint64_t conn_id = conn->id;
+  // The callback runs on a pool worker (or inline when the database has no
+  // pool): it only touches the completion queue and the eventfd — all
+  // socket and connection state stays loop-owned.
+  db_->RunBatchAsync(
+      queries, [this, conn_id, frames = std::move(frames)](
+                   BatchResult batch) mutable {
+        {
+          std::lock_guard<std::mutex> lock(completions_mu_);
+          completions_.push_back(
+              {conn_id, std::move(frames), std::move(batch)});
+        }
+        const uint64_t one = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+      });
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    counters_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    auto it = by_id_.find(c.conn_id);
+    if (it == by_id_.end() || it->second->dead) continue;  // Conn is gone.
+    Connection* conn = it->second;
+    FLOOD_CHECK(conn->inflight_groups > 0);
+    --conn->inflight_groups;
+    for (const GroupFrame& gf : c.frames) {
+      FLOOD_CHECK(conn->inflight_frames > 0);
+      --conn->inflight_frames;
+      BatchResultResponse resp;
+      resp.request_id = gf.request_id;
+      resp.server_wall_ms = c.batch.wall_ms;
+      if (!c.batch.status.ok()) {
+        // One malformed query fails its whole group — all frames of the
+        // group came from this same connection.
+        resp.code = WireCodeFromStatus(c.batch.status);
+        resp.message = c.batch.status.message();
+      } else {
+        resp.results.reserve(gf.count);
+        for (size_t i = 0; i < gf.count; ++i) {
+          const QueryResult& qr = c.batch.results[gf.offset + i];
+          WireQueryResult wr;
+          wr.kind = qr.kind == QueryResult::Kind::kSum ? 1 : 0;
+          wr.skipped_empty = qr.skipped_empty;
+          wr.count = qr.count;
+          wr.sum = qr.sum;
+          wr.total_ns = static_cast<uint64_t>(qr.stats.total_ns);
+          resp.results.push_back(wr);
+        }
+      }
+      AppendBatchResult(resp, &conn->outbuf);
+    }
+    FlushOrArm(conn);
+    MaybeFinish(conn);
+  }
+}
+
+void Server::SendError(Connection* conn, uint64_t request_id, WireCode code,
+                       std::string_view message) {
+  ErrorResponse resp;
+  resp.request_id = request_id;
+  resp.code = code;
+  resp.message = std::string(message);
+  AppendError(resp, &conn->outbuf);
+}
+
+void Server::FlushOrArm(Connection* conn) {
+  if (conn->dead) return;
+  while (conn->out_pos < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->out_pos,
+               conn->outbuf.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<size_t>(n);
+      counters_.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  uint32_t want = EPOLLIN | EPOLLRDHUP;
+  if (conn->out_pos < conn->outbuf.size()) {
+    want |= EPOLLOUT;
+  } else {
+    conn->outbuf.clear();
+    conn->out_pos = 0;
+  }
+  if (want != conn->events) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = want;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+      conn->events = want;
+    }
+  }
+}
+
+void Server::HandleWritable(Connection* conn) {
+  FlushOrArm(conn);
+  MaybeFinish(conn);
+}
+
+void Server::MaybeFinish(Connection* conn) {
+  // `closing` is per-connection (protocol violation); `draining_` is the
+  // server-wide shutdown — either way, close as soon as nothing is in
+  // flight and every response has been flushed.
+  if (conn->dead || (!conn->closing && !draining_)) return;
+  if (conn->inflight_groups == 0 && conn->out_pos >= conn->outbuf.size()) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::CloseConnection(Connection* conn) {
+  // Deferred burial: see Connection::dead.
+  conn->dead = true;
+}
+
+void Server::SweepIdle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& [fd, conn] : conns_) {
+    (void)fd;
+    if (conn->dead || conn->inflight_groups > 0) continue;
+    if (now - conn->last_activity > limit) {
+      counters_.connections_closed_idle.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      CloseConnection(conn.get());
+    }
+  }
+}
+
+// --- Introspection ---------------------------------------------------------
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  c.connections_active =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  c.connections_rejected =
+      counters_.connections_rejected.load(std::memory_order_relaxed);
+  c.connections_closed_idle =
+      counters_.connections_closed_idle.load(std::memory_order_relaxed);
+  c.frames_decoded = counters_.frames_decoded.load(std::memory_order_relaxed);
+  c.bad_frames = counters_.bad_frames.load(std::memory_order_relaxed);
+  c.requests_shed = counters_.requests_shed.load(std::memory_order_relaxed);
+  c.batches_submitted =
+      counters_.batches_submitted.load(std::memory_order_relaxed);
+  c.queries_executed =
+      counters_.queries_executed.load(std::memory_order_relaxed);
+  c.writes_applied = counters_.writes_applied.load(std::memory_order_relaxed);
+  c.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  c.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  c.queue_depth = counters_.queue_depth.load(std::memory_order_relaxed);
+  c.queue_depth_hwm =
+      counters_.queue_depth_hwm.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::vector<std::pair<std::string, double>> Server::Introspect() const {
+  const ServerCounters c = counters();
+  std::vector<std::pair<std::string, double>> entries;
+  auto put = [&entries](const char* key, double value) {
+    entries.emplace_back(key, value);
+  };
+  put("serve.connections_accepted",
+      static_cast<double>(c.connections_accepted));
+  put("serve.connections_active", static_cast<double>(c.connections_active));
+  put("serve.connections_rejected",
+      static_cast<double>(c.connections_rejected));
+  put("serve.connections_closed_idle",
+      static_cast<double>(c.connections_closed_idle));
+  put("serve.frames_decoded", static_cast<double>(c.frames_decoded));
+  put("serve.bad_frames", static_cast<double>(c.bad_frames));
+  put("serve.requests_shed", static_cast<double>(c.requests_shed));
+  put("serve.batches_submitted", static_cast<double>(c.batches_submitted));
+  put("serve.queries_executed", static_cast<double>(c.queries_executed));
+  put("serve.writes_applied", static_cast<double>(c.writes_applied));
+  put("serve.bytes_in", static_cast<double>(c.bytes_in));
+  put("serve.bytes_out", static_cast<double>(c.bytes_out));
+  put("serve.queue_depth", static_cast<double>(c.queue_depth));
+  put("serve.queue_depth_hwm", static_cast<double>(c.queue_depth_hwm));
+  // Database gauges, same map: one Stats request observes the whole stack.
+  put("db.base_rows", static_cast<double>(db_->base_rows()));
+  put("db.num_rows", static_cast<double>(db_->num_rows()));
+  put("db.pending_writes", static_cast<double>(db_->pending_writes()));
+  put("db.delta_inserts", static_cast<double>(db_->delta_inserts()));
+  put("db.delta_tombstones", static_cast<double>(db_->delta_tombstones()));
+  put("db.compactions", static_cast<double>(db_->compactions()));
+  put("db.queries_run", static_cast<double>(db_->queries_run()));
+  put("db.persist_epoch", static_cast<double>(db_->persist_epoch()));
+  put("db.num_threads", static_cast<double>(db_->num_threads()));
+  return entries;
+}
+
+}  // namespace serve
+}  // namespace flood
