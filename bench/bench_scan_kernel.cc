@@ -1,16 +1,19 @@
-// Scan-kernel micro-benchmark: naive row-at-a-time vs block-decoded
-// vectorized kernel with zone-map pruning (query/scan_util.h), reported as
-// rows/s over block-delta-compressed columns.
+// Scan-kernel micro-benchmark: naive row-at-a-time vs scalar block-decoded
+// vs SIMD (AVX2/AVX-512 runtime-dispatched) kernels with zone-map pruning
+// (query/scan_util.h), reported as rows/s over block-delta-compressed
+// columns.
 //
 // Scenarios: a mid-selectivity 2-dim range filter over each standard
 // dataset (zone maps help only incidentally — this measures the decode +
-// branchless-predicate win), plus a "sorted" table filtered on its sort
-// key (zone maps skip or exact-accept nearly every block).
+// predicate-evaluation win, the simd kernel's target regime), plus a
+// "sorted" table filtered on its sort key (zone maps skip or exact-accept
+// nearly every block, so all kernels converge).
 //
-// FLOOD_SCAN_KERNEL=naive|block restricts the run to one kernel (the same
-// toggle every index honors); by default both run and the block rows carry
-// a speedup_vs_naive counter. FLOOD_BENCH_SCAN_SECONDS tunes the per-cell
-// measurement budget (default 0.3).
+// FLOOD_SCAN_KERNEL=naive|block|simd restricts the run to one kernel (the
+// same toggle every index honors); by default all three run, block rows
+// carry speedup_vs_naive, and simd rows carry speedup_vs_block (the
+// regression-gated >=2x headline). FLOOD_BENCH_SCAN_SECONDS tunes the
+// per-cell measurement budget (default 0.3).
 
 #include <optional>
 #include <string>
@@ -32,11 +35,12 @@ double MeasureSeconds() {
 }
 
 const char* KernelName(ScanKernel k) {
-  return k == ScanKernel::kNaive ? "naive" : "block";
+  if (k == ScanKernel::kNaive) return "naive";
+  return k == ScanKernel::kSimd ? "simd" : "block";
 }
 
-/// Which kernels to measure: both by default, one if FLOOD_SCAN_KERNEL
-/// pins it.
+/// Which kernels to measure: all three by default, one if
+/// FLOOD_SCAN_KERNEL pins it.
 std::vector<ScanKernel> KernelsToRun() {
   const char* env = std::getenv("FLOOD_SCAN_KERNEL");
   if (env != nullptr && std::strcmp(env, "naive") == 0) {
@@ -45,7 +49,10 @@ std::vector<ScanKernel> KernelsToRun() {
   if (env != nullptr && std::strcmp(env, "block") == 0) {
     return {ScanKernel::kBlock};
   }
-  return {ScanKernel::kNaive, ScanKernel::kBlock};
+  if (env != nullptr && std::strcmp(env, "simd") == 0) {
+    return {ScanKernel::kSimd};
+  }
+  return {ScanKernel::kNaive, ScanKernel::kBlock, ScanKernel::kSimd};
 }
 
 struct Scenario {
@@ -69,9 +76,11 @@ struct KernelResult {
   uint64_t matched = 0;
   double blocks_skipped = 0;  ///< Per pass.
   double blocks_exact = 0;    ///< Per pass.
+  double simd_blocks = 0;     ///< Per pass (simd kernel only).
 };
 
 KernelResult Measure(const Scenario& s, ScanKernel kernel) {
+  const ScanKernel previous = ActiveScanKernel();
   SetScanKernel(kernel);
   const std::vector<size_t> dims = FilteredDims(s.query);
   const size_t n = s.table->num_rows();
@@ -103,7 +112,9 @@ KernelResult Measure(const Scenario& s, ScanKernel kernel) {
                      static_cast<double>(passes);
   r.blocks_exact = static_cast<double>(stats.blocks_exact) /
                    static_cast<double>(passes);
-  SetScanKernel(ScanKernel::kBlock);
+  r.simd_blocks = static_cast<double>(stats.simd_blocks) /
+                  static_cast<double>(passes);
+  SetScanKernel(previous);
   return r;
 }
 
@@ -149,9 +160,16 @@ std::vector<BenchRow> RunScanKernelBench() {
   for (const Scenario& s : scenarios) {
     std::optional<KernelResult> naive;
     std::optional<KernelResult> block;
+    std::optional<KernelResult> simd;
     for (ScanKernel k : kernels) {
       const KernelResult r = Measure(s, k);
-      (k == ScanKernel::kNaive ? naive : block) = r;
+      if (k == ScanKernel::kNaive) {
+        naive = r;
+      } else if (k == ScanKernel::kBlock) {
+        block = r;
+      } else {
+        simd = r;
+      }
       BenchRow row;
       row.name = "ScanKernel/" + s.name + "/" + KernelName(k);
       row.ms = r.ms_per_pass;
@@ -160,28 +178,38 @@ std::vector<BenchRow> RunScanKernelBench() {
           {"blocks_skipped", r.blocks_skipped},
           {"blocks_exact", r.blocks_exact},
       };
-      if (k == ScanKernel::kBlock && naive.has_value()) {
+      if (k != ScanKernel::kNaive && naive.has_value()) {
         row.counters.push_back(
             {"speedup_vs_naive", r.rows_per_s / naive->rows_per_s});
       }
+      if (k == ScanKernel::kSimd) {
+        row.counters.push_back({"simd_blocks", r.simd_blocks});
+        if (block.has_value()) {
+          row.counters.push_back(
+              {"speedup_vs_block", r.rows_per_s / block->rows_per_s});
+        }
+      }
       rows.push_back(std::move(row));
     }
-    const double speedup = (naive.has_value() && block.has_value())
-                               ? block->rows_per_s / naive->rows_per_s
-                               : 0.0;
-    const KernelResult& shown = block.has_value() ? *block : *naive;
+    const double simd_speedup = (block.has_value() && simd.has_value())
+                                    ? simd->rows_per_s / block->rows_per_s
+                                    : 0.0;
+    const KernelResult& shown = simd.has_value()
+                                    ? *simd
+                                    : block.has_value() ? *block : *naive;
     table_out.push_back(
         {s.name,
          naive.has_value() ? Format(naive->rows_per_s / 1e6) : "-",
          block.has_value() ? Format(block->rows_per_s / 1e6) : "-",
-         speedup > 0 ? Format(speedup) + "x" : "-",
+         simd.has_value() ? Format(simd->rows_per_s / 1e6) : "-",
+         simd_speedup > 0 ? Format(simd_speedup) + "x" : "-",
          Format(shown.blocks_skipped, 0), Format(shown.blocks_exact, 0),
          std::to_string(shown.matched)});
   }
-  PrintTable("Scan kernel: naive vs block-decoded + zone maps "
+  PrintTable("Scan kernel: naive vs block vs simd + zone maps "
              "(rows/s, higher is better)",
-             {"scenario", "naive Mrows/s", "block Mrows/s", "speedup",
-              "blk skipped", "blk exact", "matched"},
+             {"scenario", "naive Mrows/s", "block Mrows/s", "simd Mrows/s",
+              "simd/block", "blk skipped", "blk exact", "matched"},
              table_out);
   return rows;
 }

@@ -17,6 +17,7 @@ struct QueryStats {
   uint64_t ranges_scanned = 0;  ///< Contiguous physical ranges scanned.
   uint64_t blocks_skipped = 0;  ///< Blocks rejected whole by a zone map.
   uint64_t blocks_exact = 0;    ///< Blocks zone-map-contained: no checks.
+  uint64_t simd_blocks = 0;     ///< Blocks filtered by vector predicates.
   uint64_t delta_rows_scanned = 0;  ///< Delta-side rows (staged inserts +
                                     ///< tombstones) examined by the query.
 
@@ -40,6 +41,7 @@ struct QueryStats {
     ranges_scanned += o.ranges_scanned;
     blocks_skipped += o.blocks_skipped;
     blocks_exact += o.blocks_exact;
+    simd_blocks += o.simd_blocks;
     delta_rows_scanned += o.delta_rows_scanned;
     index_ns += o.index_ns;
     refine_ns += o.refine_ns;

@@ -9,6 +9,7 @@
 
 #include "query/query.h"
 #include "query/query_stats.h"
+#include "query/simd.h"
 #include "storage/table.h"
 
 namespace flood {
@@ -22,33 +23,88 @@ struct PhysRange {
   bool exact = false;
 };
 
-/// Which scan kernel ScanRange dispatches to. kBlock (default) is the
-/// block-decoded vectorized kernel with zone-map pruning; kNaive is the
+/// Which scan kernel ScanRange dispatches to. kSimd (default where the CPU
+/// has AVX2) filters with runtime-dispatched AVX2/AVX-512 vector
+/// predicates; kBlock is the scalar block-decoded kernel, the
+/// always-available reference the simd path falls back to; kNaive is the
 /// original per-row path, kept for A/B benchmarking (bench_scan_kernel)
-/// and as the equivalence-test reference.
-enum class ScanKernel { kBlock, kNaive };
+/// and as the equivalence-test ground truth.
+enum class ScanKernel { kBlock, kNaive, kSimd };
 
 namespace internal {
 /// -1 = not yet resolved from the environment.
 inline std::atomic<int> g_scan_kernel{-1};
 }  // namespace internal
 
-/// The active kernel: FLOOD_SCAN_KERNEL=naive|block (read once), default
-/// kBlock. Benign race on first use: resolution is idempotent.
+/// The active kernel: FLOOD_SCAN_KERNEL=naive|block|simd (read once).
+/// Unset (or unrecognized) selects simd when the hardware supports AVX2
+/// and block otherwise. Benign race on first use: resolution is
+/// idempotent. Note kSimd can stay active while the vector ISA is masked
+/// off (SetSimdLevelForTest); ScanRange then falls back to the block
+/// kernel per call.
 inline ScanKernel ActiveScanKernel() {
   int mode = internal::g_scan_kernel.load(std::memory_order_relaxed);
   if (mode < 0) {
     const char* env = std::getenv("FLOOD_SCAN_KERNEL");
-    mode = (env != nullptr && std::strcmp(env, "naive") == 0) ? 1 : 0;
+    if (env != nullptr && std::strcmp(env, "naive") == 0) {
+      mode = 1;
+    } else if (env != nullptr && std::strcmp(env, "block") == 0) {
+      mode = 0;
+    } else if (env != nullptr && std::strcmp(env, "simd") == 0) {
+      mode = 2;
+    } else {
+      mode = simd::ActiveSimdLevel() >= simd::SimdLevel::kAvx2 ? 2 : 0;
+    }
     internal::g_scan_kernel.store(mode, std::memory_order_relaxed);
   }
-  return mode == 1 ? ScanKernel::kNaive : ScanKernel::kBlock;
+  if (mode == 1) return ScanKernel::kNaive;
+  return mode == 2 ? ScanKernel::kSimd : ScanKernel::kBlock;
 }
 
 /// Overrides the kernel choice (benchmarks / tests).
 inline void SetScanKernel(ScanKernel kernel) {
-  internal::g_scan_kernel.store(kernel == ScanKernel::kNaive ? 1 : 0,
-                                std::memory_order_relaxed);
+  int mode = 0;
+  if (kernel == ScanKernel::kNaive) mode = 1;
+  if (kernel == ScanKernel::kSimd) mode = 2;
+  internal::g_scan_kernel.store(mode, std::memory_order_relaxed);
+}
+
+/// Initializes `bitmap` to all-ones over the first `n` row slots — the
+/// shared masked epilogue: the final partial word keeps only its low
+/// n % 64 bits, so bits past the scanned range can never leak into a
+/// visitor. Returns the word count. Every kernel (and every
+/// DecodeBlockInto caller that filters a clipped or trailing partial
+/// block) initializes through here rather than duplicating the tail
+/// masking.
+inline size_t InitMatchBitmap(uint64_t* bitmap, size_t n) {
+  const size_t words = (n + 63) / 64;
+  for (size_t w = 0; w < words; ++w) bitmap[w] = ~uint64_t{0};
+  if (n % 64 != 0) {
+    bitmap[words - 1] = (uint64_t{1} << (n % 64)) - 1;
+  }
+  return words;
+}
+
+/// Zone-map verdict for one block: reject whole, accept whole, or filter
+/// the dimensions a zone map could neither reject nor fully accept
+/// (written to `pending`, capacity >= check_dims.size()).
+enum class BlockZoneOutcome { kSkip, kExact, kFilter };
+
+inline BlockZoneOutcome ClassifyBlockZones(
+    const Table& data, const Query& query,
+    std::span<const size_t> check_dims, size_t b, size_t* pending,
+    size_t* num_pending) {
+  size_t np = 0;
+  for (size_t dim : check_dims) {
+    const ValueRange& r = query.range(dim);
+    const Column& col = data.column(dim);
+    const Value bmin = col.BlockMin(b);
+    const Value bmax = col.BlockMax(b);
+    if (r.hi < bmin || r.lo > bmax) return BlockZoneOutcome::kSkip;
+    if (r.lo > bmin || bmax > r.hi) pending[np++] = dim;
+  }
+  *num_pending = np;
+  return np == 0 ? BlockZoneOutcome::kExact : BlockZoneOutcome::kFilter;
 }
 
 /// The original row-at-a-time scan: evaluate one predicate column at a
@@ -65,11 +121,7 @@ void ScanRangeNaive(const Table& data, const Query& query, size_t begin,
        chunk_begin += kChunk) {
     const size_t chunk_end = std::min(end, chunk_begin + kChunk);
     const size_t chunk_n = chunk_end - chunk_begin;
-    const size_t words = (chunk_n + 63) / 64;
-    for (size_t w = 0; w < words; ++w) bitmap[w] = ~uint64_t{0};
-    if (chunk_n % 64 != 0) {
-      bitmap[words - 1] = (uint64_t{1} << (chunk_n % 64)) - 1;
-    }
+    const size_t words = InitMatchBitmap(bitmap, chunk_n);
 
     for (size_t dim : check_dims) {
       const ValueRange& r = query.range(dim);
@@ -137,23 +189,13 @@ void ScanRangeBlock(const Table& data, const Query& query, size_t begin,
     // Zone-map pass. Zone maps cover the full block, so they are a (safe)
     // superset of [lo, hi) when the scan range clips the block.
     size_t num_pending = 0;
-    bool rejected = false;
-    for (size_t dim : check_dims) {
-      const ValueRange& r = query.range(dim);
-      const Column& col = data.column(dim);
-      const Value bmin = col.BlockMin(b);
-      const Value bmax = col.BlockMax(b);
-      if (r.hi < bmin || r.lo > bmax) {
-        rejected = true;
-        break;
-      }
-      if (r.lo > bmin || bmax > r.hi) pending[num_pending++] = dim;
-    }
-    if (rejected) {
+    const BlockZoneOutcome outcome = ClassifyBlockZones(
+        data, query, check_dims, b, pending, &num_pending);
+    if (outcome == BlockZoneOutcome::kSkip) {
       ++blocks_skipped;
       continue;
     }
-    if (num_pending == 0) {
+    if (outcome == BlockZoneOutcome::kExact) {
       ++blocks_exact;
       matched += n;
       visitor.VisitExactRange(static_cast<RowId>(lo),
@@ -161,11 +203,7 @@ void ScanRangeBlock(const Table& data, const Query& query, size_t begin,
       continue;
     }
 
-    const size_t words = (n + 63) / 64;
-    for (size_t w = 0; w < words; ++w) bitmap[w] = ~uint64_t{0};
-    if (n % 64 != 0) {
-      bitmap[words - 1] = (uint64_t{1} << (n % 64)) - 1;
-    }
+    const size_t words = InitMatchBitmap(bitmap, n);
     for (size_t p = 0; p < num_pending; ++p) {
       const size_t dim = pending[p];
       const ValueRange& r = query.range(dim);
@@ -199,14 +237,154 @@ void ScanRangeBlock(const Table& data, const Query& query, size_t begin,
   }
 }
 
+/// Vectorized block scan kernel (ISSUE: the SIMD tentpole). Same zone-map
+/// structure as ScanRangeBlock — per block, skip / exact-accept / filter —
+/// but the filter stage runs runtime-dispatched vector predicates:
+///  * widths 1..simd::kMaxPackedFilterWidth under kBlockDelta are filtered
+///    straight off the packed words (no decode store/reload): each AVX2
+///    lane loads the byte-aligned 64-bit window holding its delta, shifts,
+///    masks, and compares against the query bounds translated into delta
+///    space;
+///  * wider blocks and kPlain columns are bulk-decoded once and compared
+///    4 (AVX2) or 8 (AVX-512) lanes at a time.
+/// Check dimensions AND-combine into the match bitmap with an all-zero
+/// early-out, and the packed bytes of the *next* zone-map-surviving block
+/// are software-prefetched while the current one filters (forward-peek
+/// cursor, O(1) amortized). Matches are delivered one block at a time via
+/// V::VisitMatchBitmap, so COUNT uses a popcount tree and SUM a masked
+/// vector sum instead of per-word dispatch.
+///
+/// Caller guarantees simd::ActiveSimdLevel() >= kAvx2 (ScanRange falls
+/// back to the block kernel otherwise).
+template <typename V>
+void ScanRangeSimd(const Table& data, const Query& query, size_t begin,
+                   size_t end, std::span<const size_t> check_dims,
+                   V& visitor, QueryStats* stats) {
+  const simd::SimdLevel level = simd::ActiveSimdLevel();
+  FLOOD_DCHECK(level >= simd::SimdLevel::kAvx2);
+  constexpr size_t kBlock = Column::kBlockSize;
+  static_assert(kBlock % 64 == 0);
+  constexpr size_t kWords = kBlock / 64;
+  Value buf[kBlock];
+  uint64_t bitmap[kWords];
+  // Dimensions a zone map could neither reject nor fully accept.
+  constexpr size_t kMaxDims = 64;
+  size_t pending[kMaxDims];
+  size_t peeked[kMaxDims];
+  FLOOD_DCHECK(check_dims.size() <= kMaxDims);
+
+  size_t matched = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t blocks_exact = 0;
+  uint64_t simd_blocks = 0;
+  const size_t first_block = begin / kBlock;
+  const size_t last_block = (end - 1) / kBlock;
+  // Highest block the forward-peek prefetch has classified. Monotonic, so
+  // re-checking zone maps ahead of the scan stays O(1) amortized per
+  // block even across skip runs.
+  size_t prefetched_until = first_block;
+
+  for (size_t b = first_block; b <= last_block; ++b) {
+    const size_t block_begin = b * kBlock;
+    const size_t lo = std::max(begin, block_begin);
+    const size_t hi = std::min(end, block_begin + kBlock);
+    const size_t n = hi - lo;
+
+    size_t num_pending = 0;
+    const BlockZoneOutcome outcome = ClassifyBlockZones(
+        data, query, check_dims, b, pending, &num_pending);
+    if (outcome == BlockZoneOutcome::kSkip) {
+      ++blocks_skipped;
+      continue;
+    }
+    if (outcome == BlockZoneOutcome::kExact) {
+      ++blocks_exact;
+      matched += n;
+      visitor.VisitExactRange(static_cast<RowId>(lo),
+                              static_cast<RowId>(hi));
+      continue;
+    }
+
+    // Forward-peek: find the next zone-surviving block and prefetch the
+    // packed bytes its filter will touch, so they arrive in cache while
+    // this block's predicates evaluate.
+    if (prefetched_until <= b) {
+      prefetched_until = last_block + 1;
+      for (size_t nb = b + 1; nb <= last_block; ++nb) {
+        size_t np = 0;
+        const BlockZoneOutcome peek = ClassifyBlockZones(
+            data, query, check_dims, nb, peeked, &np);
+        if (peek == BlockZoneOutcome::kSkip) continue;
+        if (peek == BlockZoneOutcome::kFilter) {
+          for (size_t p = 0; p < np; ++p) {
+            data.column(peeked[p]).PrefetchBlock(nb);
+          }
+        }
+        prefetched_until = nb;
+        break;
+      }
+    }
+
+    const size_t words = InitMatchBitmap(bitmap, n);
+    ++simd_blocks;
+    uint64_t any = 0;
+    for (size_t p = 0; p < num_pending; ++p) {
+      const size_t dim = pending[p];
+      const ValueRange& r = query.range(dim);
+      const Column& col = data.column(dim);
+      Column::PackedBlock pb;
+      if (col.GetPackedBlock(b, &pb) && pb.width >= 1 &&
+          pb.width <= simd::kMaxPackedFilterWidth) {
+        // Translate the query bounds into the block's delta space. The
+        // zone pass guarantees r.hi >= BlockMin(b) == base (else kSkip),
+        // so dhi never underflows, and clamping to the width mask keeps
+        // lane compares exact: deltas can't exceed it.
+        const uint64_t base = static_cast<uint64_t>(pb.base);
+        const uint64_t mask = (uint64_t{1} << pb.width) - 1;
+        const uint64_t dlo =
+            r.lo <= pb.base ? 0 : static_cast<uint64_t>(r.lo) - base;
+        const uint64_t dhi =
+            std::min(static_cast<uint64_t>(r.hi) - base, mask);
+        any = simd::FilterPackedAvx2(
+            pb.bytes, pb.bit_offset + (lo - block_begin) * pb.width,
+            pb.width, dlo, dhi, n, bitmap);
+      } else {
+        // kPlain, width 0 (can't be pending, but harmless), or too wide
+        // for byte-window lane loads: decode once, compare vectorized.
+        col.DecodeBlockInto(b, buf);
+        const Value* vals = buf + (lo - block_begin);
+        any = level >= simd::SimdLevel::kAvx512
+                  ? simd::FilterDecodedAvx512(vals, n, r.lo, r.hi, bitmap)
+                  : simd::FilterDecodedAvx2(vals, n, r.lo, r.hi, bitmap);
+      }
+      if (any == 0) break;  // Nothing left for later dimensions to narrow.
+    }
+
+    if (any != 0) {
+      matched += simd::PopcountWords(bitmap, words);
+      visitor.VisitMatchBitmap(static_cast<RowId>(lo), n, bitmap);
+    }
+  }
+  if (stats != nullptr) {
+    stats->points_matched += matched;
+    stats->blocks_skipped += blocks_skipped;
+    stats->blocks_exact += blocks_exact;
+    stats->simd_blocks += simd_blocks;
+  }
+}
+
 /// Scans one range, checking each row of `check_dims` against the query.
 /// Non-listed dimensions are assumed satisfied by construction (e.g. the
-/// refined sort dimension). Dispatches to the block kernel (default) or
-/// the naive row-at-a-time path per ActiveScanKernel().
+/// refined sort dimension). Dispatches per ActiveScanKernel(): the simd
+/// kernel (default on AVX2 hardware), the scalar block kernel, or the
+/// naive row-at-a-time path. kSimd with the vector ISA masked off
+/// (FLOOD_SIMD_LEVEL / SetSimdLevelForTest) falls back to the block
+/// kernel at call time — results are identical, simd_blocks stays 0.
 ///
 /// Counters: adds end-begin to points_scanned, matches to points_matched,
-/// and one to ranges_scanned; the block kernel also tallies
-/// blocks_skipped / blocks_exact from its zone-map outcomes.
+/// and one to ranges_scanned; the block kernels also tally
+/// blocks_skipped / blocks_exact from their zone-map outcomes, and the
+/// simd kernel counts vector-filtered blocks in simd_blocks.
 template <typename V>
 void ScanRange(const Table& data, const Query& query, size_t begin,
                size_t end, bool exact, std::span<const size_t> check_dims,
@@ -230,9 +408,13 @@ void ScanRange(const Table& data, const Query& query, size_t begin,
   // do tiny ranges, which would not amortize a 128-value block decode
   // (tree/grid baselines emit many few-row boundary cells).
   constexpr size_t kMinBlockKernelRows = 32;
-  if (ActiveScanKernel() == ScanKernel::kNaive || check_dims.size() > 64 ||
+  const ScanKernel kernel = ActiveScanKernel();
+  if (kernel == ScanKernel::kNaive || check_dims.size() > 64 ||
       n < kMinBlockKernelRows) {
     ScanRangeNaive(data, query, begin, end, check_dims, visitor, stats);
+  } else if (kernel == ScanKernel::kSimd &&
+             simd::ActiveSimdLevel() >= simd::SimdLevel::kAvx2) {
+    ScanRangeSimd(data, query, begin, end, check_dims, visitor, stats);
   } else {
     ScanRangeBlock(data, query, begin, end, check_dims, visitor, stats);
   }

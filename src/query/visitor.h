@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "query/simd.h"
 #include "storage/column.h"
 
 namespace flood {
@@ -42,6 +43,21 @@ class Visitor {
       VisitRow(base + static_cast<RowId>(b));
     }
   }
+
+  /// Block-granular delivery (the SIMD kernel's path): rows
+  /// [begin, begin + n) with bit b of bitmap[b / 64] set <=> row begin + b
+  /// matched. The range never straddles a Column::kBlockSize block and
+  /// bits past n are always clear, but all-zero words MAY appear inside
+  /// the bitmap (unlike VisitMatchWord, which skips them). The default
+  /// expands to the word contract; aggregating visitors override with
+  /// vectorized block reductions.
+  virtual void VisitMatchBitmap(RowId begin, size_t n,
+                                const uint64_t* bitmap) {
+    for (size_t w = 0; w * 64 < n; ++w) {
+      if (bitmap[w] == 0) continue;
+      VisitMatchWord(begin + static_cast<RowId>(w) * 64, bitmap[w]);
+    }
+  }
 };
 
 /// COUNT(*) accumulator.
@@ -54,6 +70,9 @@ class CountVisitor final : public Visitor {
   }
   void VisitMatchWord(RowId, uint64_t word) override {
     count_ += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  void VisitMatchBitmap(RowId, size_t n, const uint64_t* bitmap) override {
+    count_ += simd::PopcountWords(bitmap, (n + 63) / 64);
   }
 
   uint64_t count() const { return count_; }
@@ -101,6 +120,40 @@ class SumVisitor final : public Visitor {
     }
   }
 
+  /// Vectorized block aggregation: decode the aggregated column's block
+  /// once, then answer full words from the prefix sums (O(1)) and partial
+  /// words with a SIMD masked sum — instead of a random-access Get per set
+  /// bit. Requires a block-aligned delivery; clipped ranges take the
+  /// per-word path.
+  void VisitMatchBitmap(RowId begin, size_t n,
+                        const uint64_t* bitmap) override {
+    const simd::SimdLevel level = simd::ActiveSimdLevel();
+    if (level < simd::SimdLevel::kAvx2 ||
+        begin % Column::kBlockSize != 0 || n > Column::kBlockSize) {
+      Visitor::VisitMatchBitmap(begin, n, bitmap);
+      return;
+    }
+    bool decoded = false;
+    for (size_t w = 0; w * 64 < n; ++w) {
+      const uint64_t word = bitmap[w];
+      if (word == 0) continue;
+      if (word == ~uint64_t{0}) {
+        const RowId base = begin + static_cast<RowId>(w) * 64;
+        VisitExactRange(base, base + 64);  // Prefix-sum fast path.
+        continue;
+      }
+      if (!decoded) {
+        column_->DecodeBlockInto(static_cast<size_t>(begin) /
+                                     Column::kBlockSize,
+                                 scratch_);
+        decoded = true;
+      }
+      sum_ += level >= simd::SimdLevel::kAvx512
+                  ? simd::MaskedSumAvx512(scratch_ + w * 64, word)
+                  : simd::MaskedSumAvx2(scratch_ + w * 64, word);
+    }
+  }
+
   int64_t sum() const { return static_cast<int64_t>(sum_); }
 
  private:
@@ -111,6 +164,9 @@ class SumVisitor final : public Visitor {
   const Column* column_;
   const PrefixSums* prefix_sums_ = nullptr;
   uint64_t sum_ = 0;
+  /// Block decode scratch for the vectorized path. Zero-initialized so
+  /// masked-out lanes past a partial block read defined values.
+  Value scratch_[Column::kBlockSize] = {};
 };
 
 /// Collects the (storage-order) row ids of all matches. Used by examples

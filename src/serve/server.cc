@@ -728,6 +728,12 @@ std::vector<std::pair<std::string, double>> Server::Introspect() const {
   put("db.queries_run", static_cast<double>(db_->queries_run()));
   put("db.persist_epoch", static_cast<double>(db_->persist_epoch()));
   put("db.num_threads", static_cast<double>(db_->num_threads()));
+  // Scan-kernel counters: which zone-map outcome each block took, and how
+  // many were vector-filtered (nonzero only under the simd kernel).
+  const QueryStats qs = db_->cumulative_stats();
+  put("db.blocks_skipped", static_cast<double>(qs.blocks_skipped));
+  put("db.blocks_exact", static_cast<double>(qs.blocks_exact));
+  put("db.simd_blocks", static_cast<double>(qs.simd_blocks));
   return entries;
 }
 

@@ -98,7 +98,7 @@ Column Column::FromValues(std::vector<Value> values, Encoding encoding) {
     total_bits += static_cast<uint64_t>(kBlockSize) * width;
   }
 
-  col.words_.assign((total_bits + 63) / 64 + 1, 0);
+  col.words_.assign((total_bits + 63) / 64 + kDecodeSlackWords, 0);
   for (size_t i = 0; i < n; ++i) {
     const size_t b = i / kBlockSize;
     const uint32_t width = col.block_width_[b];
@@ -180,9 +180,17 @@ void Column::AppendTo(ByteWriter* w) const {
     return;
   }
   // Bit widths fit a byte; bit offsets are recomputed from them on read.
-  for (uint32_t width : block_width_) w->PutU8(static_cast<uint8_t>(width));
-  w->PutU64(words_.size());
-  for (uint64_t word : words_) w->PutU64(word);
+  uint64_t total_bits = 0;
+  for (uint32_t width : block_width_) {
+    w->PutU8(static_cast<uint8_t>(width));
+    total_bits += static_cast<uint64_t>(kBlockSize) * width;
+  }
+  // The on-disk page carries exactly one slack word (the original format);
+  // any extra in-memory decode slack is zero-filled and re-grown on read.
+  const size_t serialized_words = (total_bits + 63) / 64 + 1;
+  FLOOD_DCHECK(serialized_words <= words_.size());
+  w->PutU64(serialized_words);
+  for (size_t i = 0; i < serialized_words; ++i) w->PutU64(words_[i]);
 }
 
 StatusOr<Column> Column::ReadFrom(ByteReader* r) {
@@ -235,6 +243,9 @@ StatusOr<Column> Column::ReadFrom(ByteReader* r) {
   if (num_words != (total_bits + 63) / 64 + 1) return fail();
   const auto get_u64 = [](ByteReader* br) { return br->GetU64(); };
   if (!ReadVector(r, num_words, &col.words_, get_u64)) return fail();
+  // Re-grow the in-memory decode slack the SIMD packed filter relies on
+  // (the page stores one slack word; see AppendTo).
+  col.words_.resize((total_bits + 63) / 64 + kDecodeSlackWords, 0);
   return col;
 }
 

@@ -36,6 +36,13 @@ class Column {
 
   static constexpr size_t kBlockSize = 128;
 
+  /// Readable (zeroed) words kept past the last encoded bit of `words_`.
+  /// The width-specialized unpackers need one; the SIMD packed filter's
+  /// byte-granular 64-bit lane loads need a second (query/simd.h). The
+  /// slack is in-memory only — AppendTo serializes exactly one slack word,
+  /// so the on-disk format is unchanged.
+  static constexpr size_t kDecodeSlackWords = 2;
+
   Column() = default;
 
   /// Builds a column from `values` using the requested encoding.
@@ -100,6 +107,51 @@ class Column {
   /// unpacking: one indirect call per 128 values instead of a div/mod and
   /// shift-mask per value.
   size_t DecodeBlockInto(size_t block, Value* out) const;
+
+  /// The raw bit-packed deltas of one kBlockDelta block, for kernels that
+  /// filter without materializing values (the SIMD packed path): value i of
+  /// the block is the `width`-bit unsigned delta at absolute bit
+  /// `bit_offset + i * width` of `bytes`, added to `base`. `bytes` stays
+  /// readable for kDecodeSlackWords past the column's last encoded bit.
+  struct PackedBlock {
+    const uint8_t* bytes = nullptr;
+    uint64_t bit_offset = 0;
+    Value base = 0;
+    uint32_t width = 0;
+  };
+
+  /// Fills `out` for block `b`. Returns false under kPlain (no packed
+  /// representation; scan the decoded values instead).
+  bool GetPackedBlock(size_t b, PackedBlock* out) const {
+    FLOOD_DCHECK(b < NumBlocks());
+    if (encoding_ == Encoding::kPlain) return false;
+    out->bytes = reinterpret_cast<const uint8_t*>(words_.data());
+    out->bit_offset = block_bit_offset_[b];
+    out->base = block_min_[b];
+    out->width = block_width_[b];
+    return true;
+  }
+
+  /// Software-prefetches block `b`'s encoded bytes (packed words or plain
+  /// values) into cache — issued by scan kernels for the next
+  /// zone-map-surviving block while the current one filters.
+  void PrefetchBlock(size_t b) const {
+    FLOOD_DCHECK(b < NumBlocks());
+    const size_t begin = b * kBlockSize;
+    const char* p;
+    size_t bytes;
+    if (encoding_ == Encoding::kPlain) {
+      p = reinterpret_cast<const char*>(plain_.data() + begin);
+      bytes = std::min(kBlockSize, size_ - begin) * sizeof(Value);
+    } else {
+      const uint64_t bit = block_bit_offset_[b];
+      p = reinterpret_cast<const char*>(words_.data()) + (bit >> 3);
+      bytes = (static_cast<size_t>(block_width_[b]) * kBlockSize + 7) / 8;
+    }
+    for (size_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(p + off, /*rw=*/0, /*locality=*/2);
+    }
+  }
 
   /// Materializes the column into a flat vector.
   std::vector<Value> Decode() const;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "common/rng.h"
 #include "query/scan_util.h"
@@ -13,13 +14,24 @@ namespace {
 using testing::DataShape;
 using testing::MakeTable;
 
-/// Forces the block kernel for the duration of a test and restores the
-/// default afterwards (the mode is process-global).
+/// Forces a scan kernel for the duration of a test and restores whatever
+/// was active before (the mode is process-global, and the suite may run
+/// with FLOOD_SCAN_KERNEL forcing any kernel).
 class ScopedScanKernel {
  public:
-  explicit ScopedScanKernel(ScanKernel k) { SetScanKernel(k); }
-  ~ScopedScanKernel() { SetScanKernel(ScanKernel::kBlock); }
+  explicit ScopedScanKernel(ScanKernel k) : previous_(ActiveScanKernel()) {
+    SetScanKernel(k);
+  }
+  ~ScopedScanKernel() { SetScanKernel(previous_); }
+
+ private:
+  ScanKernel previous_;
 };
+
+/// True when the simd kernel's vector paths can actually execute here.
+bool SimdAvailable() {
+  return simd::ActiveSimdLevel() >= simd::SimdLevel::kAvx2;
+}
 
 TEST(ScanUtilTest, ExactRangeSkipsChecks) {
   const Table t = MakeTable(DataShape::kUniform, 1000, 2, 1);
@@ -64,7 +76,8 @@ TEST(ScanUtilTest, BoundaryAlignmentBothKernels) {
   ASSERT_TRUE(t.ok());
   Query q = QueryBuilder(1).Range(0, 100, 4999).Build();
   const std::vector<size_t> dims{0};
-  for (ScanKernel kernel : {ScanKernel::kNaive, ScanKernel::kBlock}) {
+  for (ScanKernel kernel :
+       {ScanKernel::kNaive, ScanKernel::kBlock, ScanKernel::kSimd}) {
     ScopedScanKernel scoped(kernel);
     for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
              {0, 6000}, {1, 2049}, {2047, 2049}, {63, 65}, {2048, 4096},
@@ -102,7 +115,7 @@ TEST(ScanUtilTest, FilteredDimsListsOnlyFiltered) {
 }
 
 // ---------------------------------------------------------------------------
-// Block kernel vs naive reference equivalence.
+// Block / simd kernels vs naive reference equivalence.
 // ---------------------------------------------------------------------------
 
 /// A column whose every full block has exactly `w` delta bits: the first
@@ -137,33 +150,73 @@ std::vector<Value> WidthControlledColumn(uint32_t w, size_t n, Rng& rng) {
   return v;
 }
 
-/// Runs naive and block kernels over the same range and asserts identical
-/// matched rows, sums, and counter totals.
+/// One kernel's observable scan output: matched rows, COUNT, SUM, stats.
+struct KernelRun {
+  std::vector<RowId> rows;
+  uint64_t count = 0;
+  int64_t sum = 0;
+  QueryStats stats;
+};
+
+KernelRun RunKernel(ScanKernel kernel, const Table& t, const Query& q,
+                    size_t begin, size_t end,
+                    std::span<const size_t> dims) {
+  ScopedScanKernel scoped(kernel);
+  KernelRun run;
+  CollectVisitor collect;
+  ScanRange(t, q, begin, end, false, dims, collect, &run.stats);
+  run.rows = collect.rows();
+  CountVisitor count;
+  ScanRange(t, q, begin, end, false, dims, count, nullptr);
+  run.count = count.count();
+  SumVisitor sum(&t.column(0));
+  ScanRange(t, q, begin, end, false, dims, sum, nullptr);
+  run.sum = sum.sum();
+  return run;
+}
+
+/// Runs all three kernels over the same range and asserts the block and
+/// simd kernels are bit-identical to the naive reference: same matched
+/// rows, counts, sums, and point counters. The simd kernel must also
+/// reproduce the block kernel's zone-map outcomes exactly.
 void ExpectKernelsAgree(const Table& t, const Query& q, size_t begin,
                         size_t end, std::span<const size_t> dims) {
-  CollectVisitor naive_rows;
-  SumVisitor naive_sum(&t.column(0));
-  QueryStats naive_stats;
-  {
-    ScopedScanKernel scoped(ScanKernel::kNaive);
-    ScanRange(t, q, begin, end, false, dims, naive_rows, &naive_stats);
-    ScanRange(t, q, begin, end, false, dims, naive_sum, nullptr);
+  const KernelRun naive = RunKernel(ScanKernel::kNaive, t, q, begin, end,
+                                    dims);
+  EXPECT_EQ(naive.stats.blocks_skipped, 0u);
+  EXPECT_EQ(naive.stats.blocks_exact, 0u);
+  EXPECT_EQ(naive.stats.simd_blocks, 0u);
+  const KernelRun block = RunKernel(ScanKernel::kBlock, t, q, begin, end,
+                                    dims);
+  const KernelRun simd = RunKernel(ScanKernel::kSimd, t, q, begin, end,
+                                   dims);
+  const std::pair<const char*, const KernelRun*> runs[] = {
+      {"block", &block}, {"simd", &simd}};
+  for (const auto& [name, run_ptr] : runs) {
+    SCOPED_TRACE(name);
+    const KernelRun& run = *run_ptr;
+    ASSERT_EQ(naive.rows, run.rows);
+    EXPECT_EQ(naive.count, run.count);
+    EXPECT_EQ(naive.sum, run.sum);
+    EXPECT_EQ(naive.stats.points_scanned, run.stats.points_scanned);
+    EXPECT_EQ(naive.stats.points_matched, run.stats.points_matched);
+    EXPECT_EQ(naive.stats.ranges_scanned, run.stats.ranges_scanned);
   }
-  CollectVisitor block_rows;
-  SumVisitor block_sum(&t.column(0));
-  QueryStats block_stats;
-  {
-    ScopedScanKernel scoped(ScanKernel::kBlock);
-    ScanRange(t, q, begin, end, false, dims, block_rows, &block_stats);
-    ScanRange(t, q, begin, end, false, dims, block_sum, nullptr);
+  // Zone-map outcomes must not depend on the (block vs simd) filter
+  // implementation; only the simd kernel counts vector-filtered blocks.
+  EXPECT_EQ(block.stats.blocks_skipped, simd.stats.blocks_skipped);
+  EXPECT_EQ(block.stats.blocks_exact, simd.stats.blocks_exact);
+  EXPECT_EQ(block.stats.simd_blocks, 0u);
+  if (SimdAvailable() && end - begin >= 32 && dims.size() <= 64) {
+    // Every zone-surviving block that needed filtering went through the
+    // vector path.
+    const size_t blocks = (end - 1) / Column::kBlockSize -
+                          begin / Column::kBlockSize + 1;
+    EXPECT_EQ(simd.stats.simd_blocks,
+              blocks - simd.stats.blocks_skipped - simd.stats.blocks_exact);
+  } else {
+    EXPECT_EQ(simd.stats.simd_blocks, 0u);
   }
-  ASSERT_EQ(naive_rows.rows(), block_rows.rows());
-  EXPECT_EQ(naive_sum.sum(), block_sum.sum());
-  EXPECT_EQ(naive_stats.points_scanned, block_stats.points_scanned);
-  EXPECT_EQ(naive_stats.points_matched, block_stats.points_matched);
-  EXPECT_EQ(naive_stats.ranges_scanned, block_stats.ranges_scanned);
-  EXPECT_EQ(naive_stats.blocks_skipped, 0u);
-  EXPECT_EQ(naive_stats.blocks_exact, 0u);
 }
 
 TEST(ScanKernelEquivalenceTest, AllBitWidthsBothEncodings) {
@@ -257,16 +310,61 @@ TEST(ScanKernelTest, ZoneMapSkipAndExactCounters) {
     EXPECT_EQ(stats.blocks_skipped, 0u);
     EXPECT_EQ(stats.blocks_exact, 0u);
   }
+  {
+    // The simd kernel reproduces the zone-map outcomes and counts the one
+    // block (6: rows 768..895) that needed vector filtering.
+    ScopedScanKernel simd_kernel(ScanKernel::kSimd);
+    CountVisitor v;
+    QueryStats stats;
+    ScanRange(*t, q, 0, 1280, false, dims, v, &stats);
+    EXPECT_EQ(v.count(), 545u);
+    EXPECT_EQ(stats.blocks_skipped, 5u);
+    EXPECT_EQ(stats.blocks_exact, 4u);
+    EXPECT_EQ(stats.simd_blocks, SimdAvailable() ? 1u : 0u);
+  }
 }
 
-TEST(ScanKernelTest, EnvToggleDefaultsToBlock) {
-  // The suite runs without FLOOD_SCAN_KERNEL set, so the resolved default
-  // must be the block kernel.
-  SetScanKernel(ScanKernel::kBlock);
-  EXPECT_EQ(ActiveScanKernel(), ScanKernel::kBlock);
-  SetScanKernel(ScanKernel::kNaive);
-  EXPECT_EQ(ActiveScanKernel(), ScanKernel::kNaive);
-  SetScanKernel(ScanKernel::kBlock);
+TEST(ScanKernelTest, SimdDispatchFallsBackWhenIsaMasked) {
+  // With the vector ISA masked off, the simd kernel selection must fall
+  // back to the scalar block kernel at call time: identical results and
+  // zone-map counters, and no block ever counted as vector-filtered.
+  const Table t = MakeTable(DataShape::kClustered, 4096, 3, 11);
+  const Query q = testing::RandomQuery(t, 77);
+  const std::vector<size_t> dims = FilteredDims(q);
+  ASSERT_FALSE(dims.empty());
+  ScopedScanKernel scoped(ScanKernel::kSimd);
+
+  CollectVisitor unmasked;
+  QueryStats unmasked_stats;
+  ScanRange(t, q, 0, t.num_rows(), false, dims, unmasked, &unmasked_stats);
+
+  simd::SetSimdLevelForTest(simd::SimdLevel::kScalar);
+  ASSERT_EQ(simd::ActiveSimdLevel(), simd::SimdLevel::kScalar);
+  CollectVisitor masked;
+  QueryStats masked_stats;
+  ScanRange(t, q, 0, t.num_rows(), false, dims, masked, &masked_stats);
+  simd::SetSimdLevelForTest(simd::DetectedSimdLevel());
+
+  EXPECT_EQ(unmasked.rows(), masked.rows());
+  EXPECT_EQ(unmasked_stats.points_matched, masked_stats.points_matched);
+  EXPECT_EQ(unmasked_stats.blocks_skipped, masked_stats.blocks_skipped);
+  EXPECT_EQ(unmasked_stats.blocks_exact, masked_stats.blocks_exact);
+  EXPECT_EQ(masked_stats.simd_blocks, 0u);
+  // The cap only masks: it can never exceed what cpuid detected.
+  simd::SetSimdLevelForTest(simd::SimdLevel::kAvx512);
+  EXPECT_LE(simd::ActiveSimdLevel(), simd::DetectedSimdLevel());
+  simd::SetSimdLevelForTest(simd::DetectedSimdLevel());
+}
+
+TEST(ScanKernelTest, KernelToggleRoundTrips) {
+  // The kernel toggle (FLOOD_SCAN_KERNEL's backing switch) must report
+  // exactly what was set, for all three kernels.
+  ScopedScanKernel scoped(ScanKernel::kBlock);
+  for (ScanKernel k :
+       {ScanKernel::kNaive, ScanKernel::kSimd, ScanKernel::kBlock}) {
+    SetScanKernel(k);
+    EXPECT_EQ(ActiveScanKernel(), k);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +412,49 @@ TEST(VisitorTest, CollectVisitorExpandsMatchWordsInOrder) {
   ASSERT_EQ(v.rows().size(), 2u);
   EXPECT_EQ(v.rows()[0], 133u);
   EXPECT_EQ(v.rows()[1], 191u);
+}
+
+TEST(VisitorTest, CountVisitorPopcountsMatchBitmaps) {
+  CountVisitor v;
+  // Zero words may appear inside a bitmap (unlike VisitMatchWord).
+  const uint64_t bitmap[2] = {0, 0b1011};
+  v.VisitMatchBitmap(0, 128, bitmap);
+  EXPECT_EQ(v.count(), 3u);
+  const uint64_t partial[1] = {0x7f};
+  v.VisitMatchBitmap(128, 7, partial);
+  EXPECT_EQ(v.count(), 10u);
+}
+
+TEST(VisitorTest, SumVisitorBitmapMatchesPerWordPath) {
+  // The vectorized bitmap reduction must agree with the per-word contract
+  // for every delivery shape: full words (prefix-sum path), partial words
+  // (masked vector sum), zero words, and clipped / unaligned ranges that
+  // force the fallback.
+  std::vector<Value> col(256);
+  Rng rng(99);
+  for (auto& v : col) v = static_cast<Value>(rng.Next() % 100000) - 50000;
+  const Column column = Column::FromValues(col);
+  const PrefixSums sums(col);
+  const uint64_t bitmap[2] = {~uint64_t{0}, 0xdeadbeefcafe1234ull};
+  const struct {
+    RowId begin;
+    size_t n;
+  } cases[] = {{0, 128}, {128, 128}, {128, 100}, {64, 128}, {3, 70}};
+  for (const auto& c : cases) {
+    SCOPED_TRACE(std::to_string(c.begin) + "+" + std::to_string(c.n));
+    uint64_t clipped[2];
+    clipped[0] = bitmap[0];
+    clipped[1] = c.n > 64 ? bitmap[1] : 0;
+    if (c.n % 64 != 0) {
+      clipped[(c.n - 1) / 64] &= (uint64_t{1} << (c.n % 64)) - 1;
+    }
+    SumVisitor vectorized(&column);
+    vectorized.set_prefix_sums(&sums);
+    vectorized.VisitMatchBitmap(c.begin, c.n, clipped);
+    SumVisitor reference(&column);
+    reference.Visitor::VisitMatchBitmap(c.begin, c.n, clipped);
+    EXPECT_EQ(vectorized.sum(), reference.sum());
+  }
 }
 
 TEST(VisitorTest, KindsReported) {

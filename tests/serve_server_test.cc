@@ -424,6 +424,11 @@ TEST(ServeServerTest, CountersTrackAScriptedSession) {
   EXPECT_EQ(get("db.pending_writes"), 1.0);
   EXPECT_EQ(get("db.num_threads"), 2.0);
   EXPECT_GE(get("db.queries_run"), 20.0);
+  // Scan-kernel telemetry is present (>= 0; which counter advances
+  // depends on the active kernel and zone-map outcomes).
+  EXPECT_GE(get("db.blocks_skipped"), 0.0);
+  EXPECT_GE(get("db.blocks_exact"), 0.0);
+  EXPECT_GE(get("db.simd_blocks"), 0.0);
 
   // And the wire Stats response carries the identical map.
   auto wire_stats = client->Stats();
