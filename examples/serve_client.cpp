@@ -96,11 +96,25 @@ int main(int argc, char** argv) {
     std::printf("in-process server on %s\n", address.c_str());
   }
 
-  // 2. Connect and ping.
-  auto client = Client::Connect(address);
+  // 2. Connect and ping. Finite deadlines + a short connect retry: a
+  //    typo'd or dead address fails within seconds instead of hanging,
+  //    and a server still coming up gets a couple of chances.
+  flood::serve::ClientOptions copts;
+  copts.connect_timeout_ms = 5'000;
+  copts.send_timeout_ms = 5'000;
+  copts.recv_timeout_ms = 10'000;
+  copts.retry.max_attempts = 3;
+  copts.retry.initial_backoff_ms = 100;
+  auto client = Client::Connect(address, copts);
   if (!client.ok()) return Fail(client.status(), "connect");
   if (flood::Status s = client->Ping(); !s.ok()) return Fail(s, "ping");
   std::printf("ping ok\n");
+
+  auto health = client->Health();
+  if (!health.ok()) return Fail(health.status(), "health");
+  std::printf("health: ready=%d draining=%d persist_poisoned=%d\n",
+              health->ready ? 1 : 0, health->draining ? 1 : 0,
+              health->persist_poisoned ? 1 : 0);
 
   // 3. A batch of aggregations, executed server-side in ONE RunBatch.
   std::vector<Query> queries;

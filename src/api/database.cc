@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/index_registry.h"
+#include "common/failpoint.h"
 #include "common/timer.h"
 #include "persist/snapshot.h"
 #include "query/executor.h"
@@ -517,6 +518,9 @@ size_t Database::TombstoneKeyLocked(const std::vector<Value>& key) {
 }
 
 Status Database::CompactLocked(const Workload* workload) {
+  // Lets tests force a compaction failure without corrupting anything —
+  // the auto-compaction backoff policy below is exercised through here.
+  FLOOD_FAILPOINT("db.compact");
   Workload recorded;
   if (workload == nullptr) {
     {
@@ -602,7 +606,16 @@ Status Database::SaveLocked(const std::string& path) {
                   contents.tombstone_keys.end()),
       contents.tombstone_keys.end());
 
-  FLOOD_RETURN_IF_ERROR(persist::WriteSnapshot(path, contents));
+  const Status written = persist::WriteSnapshot(path, contents);
+  if (!written.ok()) {
+    // Persistence is poisoned (ENOSPC, EIO, ...): the snapshot on disk is
+    // stale but intact (the write was atomic), the WAL still acknowledges
+    // writes, and reads are untouched. Recorded so the serving tier's
+    // kHealth response can tell load balancers durability is degraded.
+    write_->last_checkpoint = written;
+    return written;
+  }
+  write_->last_checkpoint = Status::OK();
   // The snapshot is durable: advance the checkpoint and fold the WAL into
   // it. A crash (or failure) between these two steps is safe — the WAL is
   // then stale (lower epoch) and discarded on the next open, because its
@@ -819,6 +832,14 @@ bool Database::wal_attached() const {
 uint64_t Database::wal_records_committed() const {
   std::shared_lock<std::shared_mutex> lock(write_->mu);
   return write_->wal != nullptr ? write_->wal->records_committed() : 0;
+}
+
+Status Database::persistence_status() const {
+  std::shared_lock<std::shared_mutex> lock(write_->mu);
+  // A detached WAL is the more severe condition (writes are refused);
+  // report it first.
+  if (!write_->wal_error.ok()) return write_->wal_error;
+  return write_->last_checkpoint;
 }
 
 StatusOr<std::vector<Value>> Database::TryGetRow(RowId row) const {

@@ -300,6 +300,14 @@ class Database {
   /// records replayed at open).
   uint64_t wal_records_committed() const;
 
+  /// Health of the durability machinery: OK when the last checkpoint
+  /// succeeded (or none ran) and the WAL (if any) is acknowledging writes.
+  /// Non-OK ("poisoned") after a failed checkpoint or a WAL detach —
+  /// reads keep serving either way; see persistence_poisoned() for the
+  /// boolean the serving tier reports in kHealth responses.
+  Status persistence_status() const;
+  bool persistence_poisoned() const { return !persistence_status().ok(); }
+
   // --- Writes -------------------------------------------------------------
 
   /// Stages one row (`row` must have num_dims() values) in the delta
@@ -445,6 +453,12 @@ class Database {
     /// refused (instead of acknowledging records recovery would discard)
     /// until the database is reopened from the fresh snapshot.
     Status wal_error = Status::OK();
+    /// Outcome of the most recent checkpoint attempt (SaveLocked). Non-OK
+    /// poisons persistence-health reporting: reads keep serving and — when
+    /// the WAL is still attached — writes stay durable, but the snapshot
+    /// on disk is stale (e.g. ENOSPC mid-checkpoint), so restores pay a
+    /// longer WAL replay. Cleared by the next successful checkpoint.
+    Status last_checkpoint = Status::OK();
     uint64_t compactions = 0;
     /// Outcome of the most recent automatic compaction attempt; OK when
     /// none has run yet.

@@ -1,0 +1,502 @@
+#include "common/failpoint.h"
+
+#if defined(FLOOD_FAILPOINTS)
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace flood {
+namespace failpoint {
+namespace {
+
+/// When a site's trigger fires.
+enum class When : uint8_t {
+  kAlways,    ///< Every hit.
+  kOnHit,     ///< Exactly once, on hit number `n`.
+  kEveryNth,  ///< Hits n, 2n, 3n, ...
+  kProb,      ///< Each hit independently with probability `p`.
+};
+
+struct SiteState {
+  bool armed = false;
+  Injection::Kind kind = Injection::Kind::kNone;
+  int err = 0;
+  double factor = 0.0;
+  /// kEintr: storm length — inject this many consecutive EINTRs, then let
+  /// one call through (so a retrying site always makes progress), then
+  /// storm again. `storm_left` is the per-storm countdown.
+  uint64_t storm_len = 1;
+  uint64_t storm_left = 1;
+  When when = When::kAlways;
+  uint64_t n = 0;
+  double p = 0.0;
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;
+  Rng rng{0xF41173ULL};  // "FAIL..": deterministic default schedule.
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // Leaked: outlives static dtors.
+  return *r;
+}
+
+/// Errno names tests actually inject; anything else can be given numerically.
+int ErrnoFromName(std::string_view name) {
+  struct Entry {
+    const char* name;
+    int value;
+  };
+  static constexpr Entry kTable[] = {
+      {"EIO", EIO},           {"ENOSPC", ENOSPC},
+      {"EINTR", EINTR},       {"EMFILE", EMFILE},
+      {"ENFILE", ENFILE},     {"EBADF", EBADF},
+      {"EPIPE", EPIPE},       {"ECONNRESET", ECONNRESET},
+      {"ECONNREFUSED", ECONNREFUSED},
+      {"ETIMEDOUT", ETIMEDOUT},
+      {"EACCES", EACCES},     {"ENOENT", ENOENT},
+      {"ENOMEM", ENOMEM},     {"ENOBUFS", ENOBUFS},
+      {"EDQUOT", EDQUOT},     {"EFBIG", EFBIG},
+      {"EROFS", EROFS},       {"EAGAIN", EAGAIN},
+  };
+  for (const Entry& e : kTable) {
+    if (name == e.name) return e.value;
+  }
+  if (!name.empty() && name.find_first_not_of("0123456789") ==
+                           std::string_view::npos) {
+    return std::atoi(std::string(name).c_str());
+  }
+  return -1;
+}
+
+Status BadSpec(std::string_view spec, const std::string& why) {
+  return Status::InvalidArgument("failpoint spec \"" + std::string(spec) +
+                                 "\": " + why);
+}
+
+bool ParseFraction(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(s);
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseCount(std::string_view s, uint64_t* out) {
+  if (s.empty() ||
+      s.find_first_not_of("0123456789") != std::string_view::npos) {
+    return false;
+  }
+  *out = std::strtoull(std::string(s).c_str(), nullptr, 10);
+  return true;
+}
+
+/// Parses "kind[:arg][@trigger]" into `state` (counters untouched).
+/// Caller holds the registry lock; `state->hits` is the site's current hit
+/// count (used by @once).
+Status ParseAction(std::string_view site, std::string_view action,
+                   SiteState* state) {
+  std::string_view trigger;
+  const size_t at = action.rfind('@');
+  if (at != std::string_view::npos) {
+    trigger = action.substr(at + 1);
+    action = action.substr(0, at);
+  }
+  std::string_view arg;
+  const size_t colon = action.find(':');
+  std::string_view kind = action;
+  if (colon != std::string_view::npos) {
+    arg = action.substr(colon + 1);
+    kind = action.substr(0, colon);
+  }
+
+  if (kind == "off") {
+    if (!arg.empty() || !trigger.empty()) {
+      return BadSpec(site, "'off' takes no argument or trigger");
+    }
+    state->armed = false;
+    return Status::OK();
+  }
+  if (kind == "err") {
+    const int err = ErrnoFromName(arg);
+    if (err <= 0) {
+      return BadSpec(site, "unknown errno \"" + std::string(arg) + "\"");
+    }
+    state->kind = Injection::Kind::kError;
+    state->err = err;
+  } else if (kind == "shortwrite" || kind == "shortread" || kind == "short") {
+    double frac = 0.0;
+    if (!ParseFraction(arg, &frac) || frac <= 0.0 || frac >= 1.0) {
+      return BadSpec(site, "short transfer needs a fraction in (0,1), got \"" +
+                               std::string(arg) + "\"");
+    }
+    state->kind = Injection::Kind::kShort;
+    state->factor = frac;
+  } else if (kind == "eintr") {
+    uint64_t storm = 1;
+    if (!arg.empty() && (!ParseCount(arg, &storm) || storm == 0)) {
+      return BadSpec(site, "eintr storm length must be a positive integer");
+    }
+    state->kind = Injection::Kind::kEintr;
+    state->storm_len = storm;
+    state->storm_left = storm;
+  } else {
+    return BadSpec(site, "unknown action \"" + std::string(kind) + "\"");
+  }
+
+  state->when = When::kAlways;
+  if (!trigger.empty()) {
+    if (trigger == "once") {
+      state->when = When::kOnHit;
+      state->n = state->hits + 1;
+    } else if (trigger.rfind("every:", 0) == 0) {
+      uint64_t n = 0;
+      if (!ParseCount(trigger.substr(6), &n) || n == 0) {
+        return BadSpec(site, "@every: needs a positive integer");
+      }
+      state->when = When::kEveryNth;
+      state->n = n;
+    } else if (trigger.rfind("p:", 0) == 0) {
+      double p = 0.0;
+      if (!ParseFraction(trigger.substr(2), &p) || p <= 0.0 || p > 1.0) {
+        return BadSpec(site, "@p: needs a probability in (0,1]");
+      }
+      state->when = When::kProb;
+      state->p = p;
+    } else {
+      uint64_t n = 0;
+      if (!ParseCount(trigger, &n) || n == 0) {
+        return BadSpec(site, "unknown trigger \"@" + std::string(trigger) +
+                                 "\"");
+      }
+      state->when = When::kOnHit;
+      state->n = n;
+    }
+  }
+  state->armed = true;
+  return Status::OK();
+}
+
+Status ConfigureLocked(Registry& reg, std::string_view spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view entry = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return BadSpec(entry, "expected site=action");
+    }
+    const std::string site(entry.substr(0, eq));
+    SiteState& state = reg.sites[site];
+    FLOOD_RETURN_IF_ERROR(ParseAction(site, entry.substr(eq + 1), &state));
+  }
+  return Status::OK();
+}
+
+/// One-time bootstrap from the environment, run inside every public entry
+/// point. A malformed env spec aborts: silently ignoring it would run a
+/// fault-injection CI job with no faults injected.
+void EnvInit(Registry& reg) {
+  static std::once_flag once;
+  std::call_once(once, [&reg] {
+    if (const char* seed = std::getenv("FLOOD_FAILPOINTS_SEED")) {
+      reg.rng = Rng(std::strtoull(seed, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("FLOOD_FAILPOINTS")) {
+      const Status status = ConfigureLocked(reg, spec);
+      FLOOD_CHECK(status.ok());
+    }
+  });
+}
+
+}  // namespace
+
+Injection Check(const char* site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  SiteState& state = reg.sites[site];
+  ++state.hits;
+  if (!state.armed) return {};
+
+  bool fire = false;
+  switch (state.when) {
+    case When::kAlways:
+      fire = true;
+      break;
+    case When::kOnHit:
+      fire = state.hits == state.n;
+      break;
+    case When::kEveryNth:
+      fire = state.hits % state.n == 0;
+      break;
+    case When::kProb:
+      fire = reg.rng.Bernoulli(state.p);
+      break;
+  }
+  if (!fire) return {};
+
+  Injection inj;
+  inj.kind = state.kind;
+  inj.err = state.err;
+  inj.factor = state.factor;
+  if (state.kind == Injection::Kind::kEintr) {
+    // Storms are finite so a retrying call site always makes progress:
+    // after storm_len consecutive EINTRs one call passes through, then the
+    // storm re-arms.
+    if (state.storm_left == 0) {
+      state.storm_left = state.storm_len;
+      return {};
+    }
+    --state.storm_left;
+    inj.err = EINTR;
+  }
+  ++state.triggers;
+  return inj;
+}
+
+Status Configure(std::string_view spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  return ConfigureLocked(reg, spec);
+}
+
+Status Arm(std::string_view site, std::string_view action) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  SiteState& state = reg.sites[std::string(site)];
+  return ParseAction(site, action, &state);
+}
+
+void Disarm(std::string_view site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  auto it = reg.sites.find(std::string(site));
+  if (it != reg.sites.end()) it->second.armed = false;
+}
+
+void DisarmAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  for (auto& [site, state] : reg.sites) {
+    state = SiteState{};
+  }
+}
+
+void SetSeed(uint64_t seed) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  reg.rng = Rng(seed);
+}
+
+uint64_t Hits(std::string_view site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  auto it = reg.sites.find(std::string(site));
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t Triggers(std::string_view site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  auto it = reg.sites.find(std::string(site));
+  return it == reg.sites.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> Sites() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EnvInit(reg);
+  std::vector<std::string> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, state] : reg.sites) out.push_back(site);
+  return out;
+}
+
+// --- Syscall wrappers -------------------------------------------------------
+
+namespace {
+
+/// Bytes a kShort injection lets through: at least 1 (so retry loops make
+/// progress), at most n - 1 (so it is genuinely short); n <= 1 can't be
+/// shortened and passes through whole.
+size_t ShortCount(size_t n, double factor) {
+  if (n <= 1) return n;
+  size_t k = static_cast<size_t>(static_cast<double>(n) * factor);
+  if (k == 0) k = 1;
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace
+
+ssize_t InjectedWrite(const char* site, int fd, const void* buf, size_t n) {
+  const Injection inj = Check(site);
+  switch (inj.kind) {
+    case Injection::Kind::kError:
+    case Injection::Kind::kEintr:
+      errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+      return -1;
+    case Injection::Kind::kShort:
+      return ::write(fd, buf, ShortCount(n, inj.factor));
+    case Injection::Kind::kNone:
+      break;
+  }
+  return ::write(fd, buf, n);
+}
+
+ssize_t InjectedRead(const char* site, int fd, void* buf, size_t n) {
+  const Injection inj = Check(site);
+  switch (inj.kind) {
+    case Injection::Kind::kError:
+    case Injection::Kind::kEintr:
+      errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+      return -1;
+    case Injection::Kind::kShort:
+      return ::read(fd, buf, ShortCount(n, inj.factor));
+    case Injection::Kind::kNone:
+      break;
+  }
+  return ::read(fd, buf, n);
+}
+
+ssize_t InjectedSend(const char* site, int fd, const void* buf, size_t n,
+                     int flags) {
+  const Injection inj = Check(site);
+  switch (inj.kind) {
+    case Injection::Kind::kError:
+    case Injection::Kind::kEintr:
+      errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+      return -1;
+    case Injection::Kind::kShort:
+      return ::send(fd, buf, ShortCount(n, inj.factor), flags);
+    case Injection::Kind::kNone:
+      break;
+  }
+  return ::send(fd, buf, n, flags);
+}
+
+ssize_t InjectedRecv(const char* site, int fd, void* buf, size_t n,
+                     int flags) {
+  const Injection inj = Check(site);
+  switch (inj.kind) {
+    case Injection::Kind::kError:
+    case Injection::Kind::kEintr:
+      errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+      return -1;
+    case Injection::Kind::kShort:
+      return ::recv(fd, buf, ShortCount(n, inj.factor), flags);
+    case Injection::Kind::kNone:
+      break;
+  }
+  return ::recv(fd, buf, n, flags);
+}
+
+int InjectedFsync(const char* site, int fd) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int InjectedFtruncate(const char* site, int fd, off_t length) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::ftruncate(fd, length);
+}
+
+int InjectedOpen(const char* site, const char* path, int flags, mode_t mode) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+int InjectedRename(const char* site, const char* from, const char* to) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::rename(from, to);
+}
+
+int InjectedAccept4(const char* site, int fd, struct sockaddr* addr,
+                    socklen_t* addrlen, int flags) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::accept4(fd, addr, addrlen, flags);
+}
+
+int InjectedEpollWait(const char* site, int epfd, struct epoll_event* events,
+                      int maxevents, int timeout_ms) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::epoll_wait(epfd, events, maxevents, timeout_ms);
+}
+
+int InjectedConnect(const char* site, int fd, const struct sockaddr* addr,
+                    socklen_t addrlen) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::connect(fd, addr, addrlen);
+}
+
+int InjectedPoll(const char* site, struct pollfd* fds, nfds_t nfds,
+                 int timeout_ms) {
+  const Injection inj = Check(site);
+  if (inj.kind == Injection::Kind::kError ||
+      inj.kind == Injection::Kind::kEintr) {
+    errno = inj.kind == Injection::Kind::kEintr ? EINTR : inj.err;
+    return -1;
+  }
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+}  // namespace failpoint
+}  // namespace flood
+
+#endif  // FLOOD_FAILPOINTS

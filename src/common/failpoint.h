@@ -1,0 +1,234 @@
+#ifndef FLOOD_COMMON_FAILPOINT_H_
+#define FLOOD_COMMON_FAILPOINT_H_
+
+// Deterministic fault injection at syscall seams (see src/common/README.md
+// for the full catalog and spec grammar).
+//
+// A *failpoint* is a named site in the code — "wal.fsync", "serve.send" —
+// where a test (or the FLOOD_FAILPOINTS environment variable) can inject a
+// hard errno failure, a short read/write, or an EINTR storm, with one-shot,
+// every-Nth, or seeded-probabilistic triggers. Sites are threaded through
+// every persistence and serving syscall via the Injected* wrappers below.
+//
+// The whole framework is compiled in only when the FLOOD_FAILPOINTS CMake
+// option defines the FLOOD_FAILPOINTS macro. Without it, every wrapper is a
+// force-inlined passthrough to the raw syscall and the registry functions
+// are constexpr-friendly no-op stubs: release binaries carry no failpoint
+// code, no symbols, and no per-call overhead (CI checks the symbol table).
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flood {
+namespace failpoint {
+
+#if defined(FLOOD_FAILPOINTS)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// What an armed failpoint injects when its trigger fires.
+struct Injection {
+  enum class Kind : uint8_t {
+    kNone = 0,  ///< Pass through to the real operation.
+    kError,     ///< Fail the operation with `err` in errno.
+    kShort,     ///< Transfer only ceil(factor * n) of the requested bytes.
+    kEintr,     ///< Fail with EINTR (the site's retry loop re-enters).
+  };
+  Kind kind = Kind::kNone;
+  int err = 0;          ///< kError: the errno to inject.
+  double factor = 0.0;  ///< kShort: fraction of the request transferred.
+};
+
+#if defined(FLOOD_FAILPOINTS)
+
+/// Consults the registry for `site` and evaluates its trigger. Every call
+/// counts as one *hit* (even when nothing is armed, so Hits() doubles as
+/// site-coverage telemetry); a non-kNone return counts as one *trigger*.
+/// Thread-safe. The first call bootstraps the registry from the
+/// FLOOD_FAILPOINTS / FLOOD_FAILPOINTS_SEED environment variables.
+Injection Check(const char* site);
+
+/// Arms every entry of a full `site=action[;site=action...]` spec (the
+/// FLOOD_FAILPOINTS env format). Additive: sites not named keep their
+/// current configuration. InvalidArgument on a malformed spec.
+///
+/// Grammar per entry:  site '=' kind [':' arg] ['@' trigger]
+///   kinds:    err:<ERRNO-NAME|number>   hard failure (e.g. err:EIO)
+///             shortwrite:<frac> | shortread:<frac> | short:<frac>
+///                                       partial transfer, 0 < frac < 1
+///             eintr[:<N>]               storm of N EINTRs, then succeed
+///             off                       disarm the site
+///   triggers: (none)     every hit
+///             @<N>       one-shot, on the Nth hit of the site
+///             @once      alias for @1 relative to the current hit count
+///             @every:<N> every Nth hit
+///             @p:<P>     each hit with probability P (seeded RNG)
+Status Configure(std::string_view spec);
+
+/// Arms one site, e.g. Arm("wal.fsync", "err:EIO@3").
+Status Arm(std::string_view site, std::string_view action);
+
+/// Disarms one site (hit/trigger counters survive).
+void Disarm(std::string_view site);
+
+/// Disarms every site and zeroes all counters (test isolation).
+void DisarmAll();
+
+/// Reseeds the RNG behind @p: triggers (reproducible fault schedules).
+void SetSeed(uint64_t seed);
+
+/// Times Check(site) ran / times it injected something.
+uint64_t Hits(std::string_view site);
+uint64_t Triggers(std::string_view site);
+
+/// Every site Check() has ever been called on, plus every site armed —
+/// the live catalog the sweep test iterates.
+std::vector<std::string> Sites();
+
+#else  // !FLOOD_FAILPOINTS — zero-cost stubs.
+
+[[gnu::always_inline]] inline Injection Check(const char*) { return {}; }
+[[gnu::always_inline]] inline Status Configure(std::string_view) {
+  return Status::OK();
+}
+[[gnu::always_inline]] inline Status Arm(std::string_view,
+                                         std::string_view) {
+  return Status::OK();
+}
+[[gnu::always_inline]] inline void Disarm(std::string_view) {}
+[[gnu::always_inline]] inline void DisarmAll() {}
+[[gnu::always_inline]] inline void SetSeed(uint64_t) {}
+[[gnu::always_inline]] inline uint64_t Hits(std::string_view) { return 0; }
+[[gnu::always_inline]] inline uint64_t Triggers(std::string_view) {
+  return 0;
+}
+[[gnu::always_inline]] inline std::vector<std::string> Sites() { return {}; }
+
+#endif  // FLOOD_FAILPOINTS
+
+// --- Syscall wrappers -------------------------------------------------------
+// Each wrapper consults its site, applies the injected fault (setting errno
+// like the real syscall would), or passes straight through. When failpoints
+// are compiled out they ARE the raw syscall, force-inlined.
+
+#if defined(FLOOD_FAILPOINTS)
+
+ssize_t InjectedWrite(const char* site, int fd, const void* buf, size_t n);
+ssize_t InjectedRead(const char* site, int fd, void* buf, size_t n);
+ssize_t InjectedSend(const char* site, int fd, const void* buf, size_t n,
+                     int flags);
+ssize_t InjectedRecv(const char* site, int fd, void* buf, size_t n,
+                     int flags);
+int InjectedFsync(const char* site, int fd);
+int InjectedFtruncate(const char* site, int fd, off_t length);
+int InjectedOpen(const char* site, const char* path, int flags, mode_t mode);
+int InjectedRename(const char* site, const char* from, const char* to);
+int InjectedAccept4(const char* site, int fd, struct sockaddr* addr,
+                    socklen_t* addrlen, int flags);
+int InjectedEpollWait(const char* site, int epfd, struct epoll_event* events,
+                      int maxevents, int timeout_ms);
+int InjectedConnect(const char* site, int fd, const struct sockaddr* addr,
+                    socklen_t addrlen);
+int InjectedPoll(const char* site, struct pollfd* fds, nfds_t nfds,
+                 int timeout_ms);
+
+#else  // !FLOOD_FAILPOINTS
+
+[[gnu::always_inline]] inline ssize_t InjectedWrite(const char*, int fd,
+                                                    const void* buf,
+                                                    size_t n) {
+  return ::write(fd, buf, n);
+}
+[[gnu::always_inline]] inline ssize_t InjectedRead(const char*, int fd,
+                                                   void* buf, size_t n) {
+  return ::read(fd, buf, n);
+}
+[[gnu::always_inline]] inline ssize_t InjectedSend(const char*, int fd,
+                                                   const void* buf, size_t n,
+                                                   int flags) {
+  return ::send(fd, buf, n, flags);
+}
+[[gnu::always_inline]] inline ssize_t InjectedRecv(const char*, int fd,
+                                                   void* buf, size_t n,
+                                                   int flags) {
+  return ::recv(fd, buf, n, flags);
+}
+[[gnu::always_inline]] inline int InjectedFsync(const char*, int fd) {
+  return ::fsync(fd);
+}
+[[gnu::always_inline]] inline int InjectedFtruncate(const char*, int fd,
+                                                    off_t length) {
+  return ::ftruncate(fd, length);
+}
+[[gnu::always_inline]] inline int InjectedOpen(const char*, const char* path,
+                                               int flags, mode_t mode) {
+  return ::open(path, flags, mode);
+}
+[[gnu::always_inline]] inline int InjectedRename(const char*,
+                                                 const char* from,
+                                                 const char* to) {
+  return ::rename(from, to);
+}
+[[gnu::always_inline]] inline int InjectedAccept4(const char*, int fd,
+                                                  struct sockaddr* addr,
+                                                  socklen_t* addrlen,
+                                                  int flags) {
+  return ::accept4(fd, addr, addrlen, flags);
+}
+[[gnu::always_inline]] inline int InjectedEpollWait(
+    const char*, int epfd, struct epoll_event* events, int maxevents,
+    int timeout_ms) {
+  return ::epoll_wait(epfd, events, maxevents, timeout_ms);
+}
+[[gnu::always_inline]] inline int InjectedConnect(
+    const char*, int fd, const struct sockaddr* addr, socklen_t addrlen) {
+  return ::connect(fd, addr, addrlen);
+}
+[[gnu::always_inline]] inline int InjectedPoll(const char*,
+                                               struct pollfd* fds,
+                                               nfds_t nfds, int timeout_ms) {
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+#endif  // FLOOD_FAILPOINTS
+
+}  // namespace failpoint
+}  // namespace flood
+
+// Non-syscall seam: returns Status::Internal from the enclosing function
+// when the site's trigger fires with an error action (other actions are
+// meaningless at a non-I/O seam and pass through). Compiles to nothing
+// without FLOOD_FAILPOINTS.
+#if defined(FLOOD_FAILPOINTS)
+#define FLOOD_FAILPOINT(site)                                              \
+  do {                                                                     \
+    const ::flood::failpoint::Injection _flood_fp =                        \
+        ::flood::failpoint::Check(site);                                   \
+    if (_flood_fp.kind == ::flood::failpoint::Injection::Kind::kError) {   \
+      return ::flood::Status::Internal(std::string("failpoint ") + site +  \
+                                       ": injected " +                     \
+                                       std::strerror(_flood_fp.err));      \
+    }                                                                      \
+  } while (0)
+#else
+#define FLOOD_FAILPOINT(site) \
+  do {                        \
+  } while (0)
+#endif
+
+#endif  // FLOOD_COMMON_FAILPOINT_H_

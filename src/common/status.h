@@ -21,6 +21,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// A per-operation deadline elapsed (e.g. a serve::Client send/recv
+  /// timeout). The operation's effect is unknown unless stated otherwise.
+  kDeadlineExceeded,
+  /// The peer is transiently unreachable or refusing work (connect
+  /// refused, overloaded); safe to retry idempotent operations.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -57,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,26 +3,35 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <map>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "persist/format.h"
 
 namespace flood {
 namespace persist {
 
+namespace {
+
+std::atomic<uint64_t> g_dir_fsync_failures{0};
+
+}  // namespace
+
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return what + " " + path + ": " + std::strerror(errno);
 }
 
-Status WriteAllFd(int fd, const void* data, size_t n,
-                  const std::string& path) {
+Status WriteAllFd(int fd, const void* data, size_t n, const std::string& path,
+                  const char* write_site) {
   const char* p = static_cast<const char*>(data);
   size_t written = 0;
   while (written < n) {
-    const ssize_t w = ::write(fd, p + written, n - written);
+    const ssize_t w =
+        failpoint::InjectedWrite(write_site, fd, p + written, n - written);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(ErrnoMessage("write", path));
@@ -38,10 +47,18 @@ void FsyncParentDir(const std::string& path) {
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
   const int dir_fd = ::open(dir.c_str(), O_RDONLY);
-  if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);
-    ::close(dir_fd);
+  if (dir_fd < 0) {
+    g_dir_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  if (failpoint::InjectedFsync("persist.dir_fsync", dir_fd) != 0) {
+    g_dir_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::close(dir_fd);
+}
+
+uint64_t DirFsyncFailures() {
+  return g_dir_fsync_failures.load(std::memory_order_relaxed);
 }
 
 namespace {
@@ -221,7 +238,8 @@ StatusOr<Query> ReadQuery(ByteReader* r) {
   return q;
 }
 
-Status ReadFileToString(const std::string& path, std::string* out) {
+Status ReadFileToString(const std::string& path, std::string* out,
+                        const char* read_site) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) {
@@ -232,7 +250,7 @@ Status ReadFileToString(const std::string& path, std::string* out) {
   out->clear();
   char buf[1 << 16];
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    const ssize_t n = failpoint::InjectedRead(read_site, fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
       const Status status = Status::Internal(ErrnoMessage("read", path));
@@ -248,10 +266,13 @@ Status ReadFileToString(const std::string& path, std::string* out) {
 
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = failpoint::InjectedOpen("persist.snapshot.open", tmp.c_str(),
+                                         O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::Internal(ErrnoMessage("open", tmp));
-  Status status = WriteAllFd(fd, data.data(), data.size(), tmp);
-  if (status.ok() && ::fsync(fd) != 0) {
+  Status status =
+      WriteAllFd(fd, data.data(), data.size(), tmp, "persist.snapshot.write");
+  if (status.ok() &&
+      failpoint::InjectedFsync("persist.snapshot.fsync", fd) != 0) {
     status = Status::Internal(ErrnoMessage("fsync", tmp));
   }
   ::close(fd);
@@ -259,7 +280,8 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
     ::unlink(tmp.c_str());
     return status;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (failpoint::InjectedRename("persist.snapshot.rename", tmp.c_str(),
+                                path.c_str()) != 0) {
     status = Status::Internal(ErrnoMessage("rename", tmp));
     ::unlink(tmp.c_str());
     return status;
@@ -329,7 +351,8 @@ Status WriteSnapshot(const std::string& path, const SnapshotContents& c) {
 
 StatusOr<SnapshotData> ReadSnapshot(const std::string& path) {
   std::string file;
-  FLOOD_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  FLOOD_RETURN_IF_ERROR(
+      ReadFileToString(path, &file, "persist.snapshot.read"));
 
   ByteReader header(file);
   if (header.GetU64() != kSnapshotMagic || !header.ok()) {

@@ -76,18 +76,31 @@ StatusOr<SnapshotData> ReadSnapshot(const std::string& path);
 void AppendQuery(const Query& q, ByteWriter* w);
 StatusOr<Query> ReadQuery(ByteReader* r);
 
-// File helpers (also used by the WAL implementation and tests).
-Status ReadFileToString(const std::string& path, std::string* out);
+// File helpers (also used by the WAL implementation and tests). The
+// `*_site` parameters name the fault-injection seam the I/O runs through
+// (src/common/failpoint.h); callers on a distinct durability path pass
+// their own site so tests can fail them independently.
+Status ReadFileToString(const std::string& path, std::string* out,
+                        const char* read_site = "persist.read");
 Status WriteFileAtomic(const std::string& path, const std::string& data);
 
 // Low-level POSIX helpers shared by the snapshot and WAL writers.
 std::string ErrnoMessage(const std::string& what, const std::string& path);
 /// write() until `n` bytes landed (EINTR/short-write safe).
-Status WriteAllFd(int fd, const void* data, size_t n,
-                  const std::string& path);
+Status WriteAllFd(int fd, const void* data, size_t n, const std::string& path,
+                  const char* write_site = "persist.write");
 /// Best-effort fsync of `path`'s parent directory, making a just-created
-/// or just-renamed directory entry durable.
+/// or just-renamed directory entry durable. Failures don't fail the caller
+/// (the data fsync already succeeded; only the *directory entry* may not
+/// survive a power loss) but are counted in DirFsyncFailures() so they are
+/// observable instead of silently discarded.
 void FsyncParentDir(const std::string& path);
+/// Process-wide count of failed best-effort directory fsyncs (open or
+/// fsync of the parent directory). Surfaced as
+/// "persist.dir_fsync_failures" in Server::Introspect(); nonzero means a
+/// freshly created/renamed snapshot or WAL *file* is durable but its
+/// directory entry might not survive a power loss.
+uint64_t DirFsyncFailures();
 
 }  // namespace persist
 }  // namespace flood

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "persist/snapshot.h"
 
 namespace flood {
@@ -36,7 +37,7 @@ std::string EncodeHeader(uint64_t epoch) {
 
 StatusOr<WalContents> ReadWal(const std::string& path) {
   std::string file;
-  FLOOD_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  FLOOD_RETURN_IF_ERROR(ReadFileToString(path, &file, "wal.read"));
   if (file.size() < kHeaderBytes) {
     // Only a crash during creation leaves a short header; no record was
     // ever acknowledged from this file, so treat it like a missing one.
@@ -93,14 +94,15 @@ StatusOr<WalContents> ReadWal(const std::string& path) {
 }
 
 Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
-  const int fd = ::open(path.c_str(), O_WRONLY);
+  const int fd = failpoint::InjectedOpen("wal.open", path.c_str(), O_WRONLY, 0);
   if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
-  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+  if (failpoint::InjectedFtruncate("wal.truncate", fd,
+                                   static_cast<off_t>(valid_bytes)) != 0) {
     const Status status = Status::Internal(ErrnoMessage("ftruncate", path));
     ::close(fd);
     return status;
   }
-  if (::fsync(fd) != 0) {
+  if (failpoint::InjectedFsync("wal.fsync", fd) != 0) {
     const Status status = Status::Internal(ErrnoMessage("fsync", path));
     ::close(fd);
     return status;
@@ -111,11 +113,13 @@ Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
 
 StatusOr<WalWriter> WalWriter::Create(const std::string& path, uint64_t epoch,
                                       bool sync) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = failpoint::InjectedOpen("wal.open", path.c_str(),
+                                         O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
   const std::string header = EncodeHeader(epoch);
-  Status status = WriteAllFd(fd, header.data(), header.size(), path);
-  if (status.ok() && ::fsync(fd) != 0) {
+  Status status =
+      WriteAllFd(fd, header.data(), header.size(), path, "wal.write");
+  if (status.ok() && failpoint::InjectedFsync("wal.fsync", fd) != 0) {
     status = Status::Internal(ErrnoMessage("fsync", path));
   }
   if (!status.ok()) {
@@ -136,7 +140,8 @@ StatusOr<WalWriter> WalWriter::Create(const std::string& path, uint64_t epoch,
 
 StatusOr<WalWriter> WalWriter::Append(const std::string& path, uint64_t epoch,
                                       bool sync, uint64_t file_bytes) {
-  const int fd = ::open(path.c_str(), O_WRONLY);
+  const int fd =
+      failpoint::InjectedOpen("wal.open", path.c_str(), O_WRONLY, 0);
   if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
   if (::lseek(fd, static_cast<off_t>(file_bytes), SEEK_SET) < 0) {
     const Status status = Status::Internal(ErrnoMessage("lseek", path));
@@ -193,14 +198,17 @@ Status WalWriter::Commit() {
     // may sit past file_bytes_, and appending after them would make every
     // later record unreachable at replay (the torn frame stops the scan).
     // Chop them off before writing this batch.
-    if (::ftruncate(fd_, static_cast<off_t>(file_bytes_)) != 0 ||
+    if (failpoint::InjectedFtruncate("wal.truncate", fd_,
+                                     static_cast<off_t>(file_bytes_)) != 0 ||
         ::lseek(fd_, static_cast<off_t>(file_bytes_), SEEK_SET) < 0) {
       return Status::Internal(ErrnoMessage("repair-truncate", path_));
     }
     dirty_past_end_ = false;
   }
-  Status committed = WriteAllFd(fd_, pending_.data(), pending_.size(), path_);
-  if (committed.ok() && sync_ && ::fsync(fd_) != 0) {
+  Status committed =
+      WriteAllFd(fd_, pending_.data(), pending_.size(), path_, "wal.append");
+  if (committed.ok() && sync_ &&
+      failpoint::InjectedFsync("wal.fsync", fd_) != 0) {
     committed = Status::Internal(ErrnoMessage("fsync", path_));
   }
   if (!committed.ok()) {
@@ -227,15 +235,16 @@ Status WalWriter::Reset(uint64_t new_epoch) {
   pending_.clear();
   pending_records_ = 0;
   dirty_past_end_ = false;
-  if (::ftruncate(fd_, 0) != 0) {
+  if (failpoint::InjectedFtruncate("wal.truncate", fd_, 0) != 0) {
     return Status::Internal(ErrnoMessage("ftruncate", path_));
   }
   if (::lseek(fd_, 0, SEEK_SET) < 0) {
     return Status::Internal(ErrnoMessage("lseek", path_));
   }
   const std::string header = EncodeHeader(new_epoch);
-  FLOOD_RETURN_IF_ERROR(WriteAllFd(fd_, header.data(), header.size(), path_));
-  if (::fsync(fd_) != 0) {
+  FLOOD_RETURN_IF_ERROR(
+      WriteAllFd(fd_, header.data(), header.size(), path_, "wal.write"));
+  if (failpoint::InjectedFsync("wal.fsync", fd_) != 0) {
     return Status::Internal(ErrnoMessage("fsync", path_));
   }
   epoch_ = new_epoch;

@@ -105,6 +105,10 @@ std::string_view WireCodeToString(WireCode code) {
       return "Unimplemented";
     case WireCode::kInternal:
       return "Internal";
+    case WireCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case WireCode::kUnavailable:
+      return "Unavailable";
     case WireCode::kOverloaded:
       return "Overloaded";
     case WireCode::kBadFrame:
@@ -133,6 +137,10 @@ WireCode WireCodeFromStatus(const Status& status) {
       return WireCode::kUnimplemented;
     case StatusCode::kInternal:
       return WireCode::kInternal;
+    case StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case StatusCode::kUnavailable:
+      return WireCode::kUnavailable;
   }
   return WireCode::kInternal;
 }
@@ -154,6 +162,10 @@ Status StatusFromWireCode(WireCode code, std::string_view message) {
       return Status::Unimplemented(msg);
     case WireCode::kInternal:
       return Status::Internal(msg);
+    case WireCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
+    case WireCode::kUnavailable:
+      return Status::Unavailable(msg);
     default:
       return Status::FailedPrecondition(
           std::string(WireCodeToString(code)) +
@@ -215,6 +227,22 @@ void AppendDelete(const DeleteRequest& req, std::string* out) {
 void AppendStats(const StatsRequest& req, std::string* out) {
   AppendWith(MessageType::kStats, out,
              [&](ByteWriter* w) { w->PutU64(req.request_id); });
+}
+
+void AppendHealth(const HealthRequest& req, std::string* out) {
+  AppendWith(MessageType::kHealth, out,
+             [&](ByteWriter* w) { w->PutU64(req.request_id); });
+}
+
+void AppendHealthResult(const HealthResponse& resp, std::string* out) {
+  AppendWith(MessageType::kHealthResult, out, [&](ByteWriter* w) {
+    w->PutU64(resp.request_id);
+    w->PutU8(resp.ready ? 1 : 0);
+    w->PutU8(resp.draining ? 1 : 0);
+    w->PutU8(resp.persist_poisoned ? 1 : 0);
+    w->PutU64(resp.queue_depth);
+    w->PutU64(resp.connections_active);
+  });
 }
 
 void AppendPong(const PongResponse& resp, std::string* out) {
@@ -328,6 +356,31 @@ StatusOr<StatsRequest> ParseStats(std::string_view payload) {
   StatsRequest req;
   req.request_id = r.GetU64();
   return Finish(r, std::move(req), "Stats");
+}
+
+StatusOr<HealthRequest> ParseHealth(std::string_view payload) {
+  ByteReader r(payload);
+  HealthRequest req;
+  req.request_id = r.GetU64();
+  return Finish(r, std::move(req), "Health");
+}
+
+StatusOr<HealthResponse> ParseHealthResult(std::string_view payload) {
+  ByteReader r(payload);
+  HealthResponse resp;
+  resp.request_id = r.GetU64();
+  const uint8_t ready = r.GetU8();
+  const uint8_t draining = r.GetU8();
+  const uint8_t poisoned = r.GetU8();
+  resp.queue_depth = r.GetU64();
+  resp.connections_active = r.GetU64();
+  if (ready > 1 || draining > 1 || poisoned > 1) {
+    return ParseFailed("HealthResult");
+  }
+  resp.ready = ready != 0;
+  resp.draining = draining != 0;
+  resp.persist_poisoned = poisoned != 0;
+  return Finish(r, std::move(resp), "HealthResult");
 }
 
 StatusOr<PongResponse> ParsePong(std::string_view payload) {

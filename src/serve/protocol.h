@@ -54,11 +54,13 @@ enum class MessageType : uint8_t {
   kInsertBatch = 0x04,
   kDelete = 0x05,
   kStats = 0x06,
+  kHealth = 0x07,
 
   kPong = 0x81,
   kBatchResult = 0x82,
   kWriteAck = 0x83,
   kStatsResult = 0x84,
+  kHealthResult = 0x85,
   kError = 0x8F,
 };
 
@@ -72,6 +74,11 @@ enum class WireCode : uint8_t {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  /// A per-operation deadline elapsed (client-side; never sent by the
+  /// server).
+  kDeadlineExceeded = 7,
+  /// Transiently unreachable/refusing; retry-safe for idempotent work.
+  kUnavailable = 8,
   /// Admission control shed this request: the server's bounded submission
   /// queue (or this connection's in-flight cap) was full. Retry later;
   /// nothing was executed.
@@ -129,6 +136,12 @@ struct StatsRequest {
   uint64_t request_id = 0;
 };
 
+/// Lightweight readiness probe for load balancers; answered inline from
+/// the event loop (like Ping), including while draining.
+struct HealthRequest {
+  uint64_t request_id = 0;
+};
+
 // --- Response bodies -------------------------------------------------------
 
 struct PongResponse {
@@ -167,6 +180,19 @@ struct StatsResponse {
   std::vector<std::pair<std::string, double>> entries;
 };
 
+/// Server health for routing decisions. `ready` means new work is being
+/// admitted (not draining); `persist_poisoned` means durability is degraded
+/// (a checkpoint failed or the WAL detached) while reads keep serving —
+/// route writes elsewhere, reads are fine.
+struct HealthResponse {
+  uint64_t request_id = 0;
+  bool ready = false;
+  bool draining = false;
+  bool persist_poisoned = false;
+  uint64_t queue_depth = 0;
+  uint64_t connections_active = 0;
+};
+
 struct ErrorResponse {
   uint64_t request_id = 0;  ///< 0 when the offending frame had no id.
   WireCode code = WireCode::kBadFrame;
@@ -187,11 +213,13 @@ void AppendInsert(const InsertRequest& req, std::string* out);
 void AppendInsertBatch(const InsertBatchRequest& req, std::string* out);
 void AppendDelete(const DeleteRequest& req, std::string* out);
 void AppendStats(const StatsRequest& req, std::string* out);
+void AppendHealth(const HealthRequest& req, std::string* out);
 
 void AppendPong(const PongResponse& resp, std::string* out);
 void AppendBatchResult(const BatchResultResponse& resp, std::string* out);
 void AppendWriteAck(const WriteAckResponse& resp, std::string* out);
 void AppendStatsResult(const StatsResponse& resp, std::string* out);
+void AppendHealthResult(const HealthResponse& resp, std::string* out);
 void AppendError(const ErrorResponse& resp, std::string* out);
 
 // --- Decoding --------------------------------------------------------------
@@ -206,11 +234,13 @@ StatusOr<InsertRequest> ParseInsert(std::string_view payload);
 StatusOr<InsertBatchRequest> ParseInsertBatch(std::string_view payload);
 StatusOr<DeleteRequest> ParseDelete(std::string_view payload);
 StatusOr<StatsRequest> ParseStats(std::string_view payload);
+StatusOr<HealthRequest> ParseHealth(std::string_view payload);
 
 StatusOr<PongResponse> ParsePong(std::string_view payload);
 StatusOr<BatchResultResponse> ParseBatchResult(std::string_view payload);
 StatusOr<WriteAckResponse> ParseWriteAck(std::string_view payload);
 StatusOr<StatsResponse> ParseStatsResult(std::string_view payload);
+StatusOr<HealthResponse> ParseHealthResult(std::string_view payload);
 StatusOr<ErrorResponse> ParseError(std::string_view payload);
 
 // --- Frame assembly --------------------------------------------------------

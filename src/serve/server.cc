@@ -12,9 +12,12 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
+#include "persist/snapshot.h"
 
 namespace flood {
 namespace serve {
@@ -168,12 +171,12 @@ Status Server::Init() {
   return Status::OK();
 }
 
-void Server::Run() { Loop(); }
+Status Server::Run() { return Loop(); }
 
 void Server::Start() {
   FLOOD_CHECK(!started_);
   started_ = true;
-  loop_thread_ = std::thread([this] { Loop(); });
+  loop_thread_ = std::thread([this] { (void)Loop(); });
 }
 
 void Server::Shutdown() {
@@ -182,13 +185,14 @@ void Server::Shutdown() {
   [[maybe_unused]] ssize_t n = ::write(shutdown_fd_, &one, sizeof(one));
 }
 
-void Server::Join() {
+Status Server::Join() {
   if (loop_thread_.joinable()) loop_thread_.join();
+  return loop_status_;
 }
 
 // --- Event loop ------------------------------------------------------------
 
-void Server::Loop() {
+Status Server::Loop() {
   std::vector<int> doomed;
   while (!loop_done_) {
     int timeout_ms = -1;
@@ -197,12 +201,28 @@ void Server::Loop() {
           std::min<int64_t>(options_.idle_timeout_ms / 2 + 1, 1000));
     }
     if (draining_) timeout_ms = 100;
+    if (listeners_paused_) {
+      // Wake in time to re-arm the paused listeners.
+      timeout_ms = timeout_ms < 0 ? 10 : std::min(timeout_ms, 10);
+    }
 
     struct epoll_event events[64];
-    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
-    if (n < 0 && errno != EINTR) break;  // Unrecoverable epoll failure.
+    const int n = failpoint::InjectedEpollWait("serve.epoll_wait", epoll_fd_,
+                                               events, 64, timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      // Unrecoverable: the loop can't watch anything anymore. Surface a
+      // typed status instead of dying silently.
+      counters_.loop_errors.fetch_add(1, std::memory_order_relaxed);
+      loop_status_ = Errno("epoll_wait");
+      break;
+    }
 
-    for (int i = 0; i < n; ++i) {
+    if (listeners_paused_ &&
+        std::chrono::steady_clock::now() >= listener_resume_at_) {
+      ResumeListeners();
+    }
+
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
       const int fd = events[i].data.fd;
       const uint32_t ev = events[i].events;
       if (fd == wake_fd_) {
@@ -257,6 +277,19 @@ void Server::Loop() {
 
     if (draining_ && draining_done()) loop_done_ = true;
   }
+
+  if (!loop_status_.ok()) {
+    // The loop can no longer serve sockets, but batches already on the
+    // pool still reference this server through their completion callbacks
+    // — wait them out (flushing whatever responses still can be flushed)
+    // so the server can be destroyed safely after Run()/Join() returns.
+    while (counters_.queue_depth.load(std::memory_order_relaxed) != 0) {
+      DrainCompletions();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    DrainCompletions();
+  }
+  return loop_status_;
 }
 
 bool Server::draining_done() const {
@@ -298,9 +331,23 @@ void Server::BeginDrain() {
 
 void Server::HandleAccept(int listener_fd) {
   for (;;) {
-    const int fd = ::accept4(listener_fd, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN (or transient error): nothing to accept.
+    const int fd = failpoint::InjectedAccept4("serve.accept", listener_fd,
+                                              nullptr, nullptr,
+                                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      counters_.accept_failures.fetch_add(1, std::memory_order_relaxed);
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion: the pending connection stays in the backlog,
+        // so a level-triggered listener would wake us right back into the
+        // same failure. Shed politely by cooling the listeners down instead
+        // of spinning; existing connections keep being served.
+        PauseListeners();
+      }
+      return;
+    }
     if (draining_ || conns_.size() >= options_.max_connections) {
       counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
       ::close(fd);
@@ -332,6 +379,35 @@ void Server::HandleAccept(int listener_fd) {
   }
 }
 
+void Server::PauseListeners() {
+  if (listeners_paused_ || draining_) return;
+  if (tcp_listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, tcp_listen_fd_, nullptr);
+  }
+  if (uds_listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, uds_listen_fd_, nullptr);
+  }
+  listeners_paused_ = true;
+  listener_resume_at_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+}
+
+void Server::ResumeListeners() {
+  if (!listeners_paused_) return;
+  listeners_paused_ = false;
+  if (draining_) return;  // Drain already closed the listeners.
+  auto rearm = [this](int fd) {
+    if (fd < 0) return;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  };
+  rearm(tcp_listen_fd_);
+  rearm(uds_listen_fd_);
+}
+
 void Server::HandleReadable(Connection* conn) {
   if (conn->closing) {
     // Reads are done for this connection; swallow and drop.
@@ -343,7 +419,8 @@ void Server::HandleReadable(Connection* conn) {
   bool peer_closed = false;
   char buf[kReadChunk];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    const ssize_t n =
+        failpoint::InjectedRecv("serve.recv", conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       counters_.bytes_in.fetch_add(static_cast<uint64_t>(n),
                                    std::memory_order_relaxed);
@@ -357,6 +434,7 @@ void Server::HandleReadable(Connection* conn) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
+    counters_.recv_errors.fetch_add(1, std::memory_order_relaxed);
     CloseConnection(conn);
     return;
   }
@@ -505,6 +583,24 @@ void Server::HandleFrame(Connection* conn, const Frame& frame,
       AppendStatsResult(resp, &conn->outbuf);
       return;
     }
+    case MessageType::kHealth: {
+      StatusOr<HealthRequest> req = ParseHealth(frame.payload);
+      if (!req.ok()) break;
+      // Like Ping: answered inline from the loop, even while draining or
+      // overloaded — health must stay observable exactly when the server
+      // is unhealthy.
+      counters_.health_checks.fetch_add(1, std::memory_order_relaxed);
+      HealthResponse resp;
+      resp.request_id = req->request_id;
+      resp.draining = draining_;
+      resp.ready = !draining_;
+      resp.persist_poisoned = db_->persistence_poisoned();
+      resp.queue_depth = counters_.queue_depth.load(std::memory_order_relaxed);
+      resp.connections_active =
+          counters_.connections_active.load(std::memory_order_relaxed);
+      AppendHealthResult(resp, &conn->outbuf);
+      return;
+    }
     default:
       // Response-typed or unknown frames from a client are a protocol
       // violation.
@@ -600,9 +696,9 @@ void Server::SendError(Connection* conn, uint64_t request_id, WireCode code,
 void Server::FlushOrArm(Connection* conn) {
   if (conn->dead) return;
   while (conn->out_pos < conn->outbuf.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->outbuf.data() + conn->out_pos,
-               conn->outbuf.size() - conn->out_pos, MSG_NOSIGNAL);
+    const ssize_t n = failpoint::InjectedSend(
+        "serve.send", conn->fd, conn->outbuf.data() + conn->out_pos,
+        conn->outbuf.size() - conn->out_pos, MSG_NOSIGNAL);
     if (n > 0) {
       conn->out_pos += static_cast<size_t>(n);
       counters_.bytes_out.fetch_add(static_cast<uint64_t>(n),
@@ -612,6 +708,7 @@ void Server::FlushOrArm(Connection* conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
+    counters_.send_errors.fetch_add(1, std::memory_order_relaxed);
     CloseConnection(conn);
     return;
   }
@@ -692,6 +789,12 @@ ServerCounters Server::counters() const {
   c.queue_depth = counters_.queue_depth.load(std::memory_order_relaxed);
   c.queue_depth_hwm =
       counters_.queue_depth_hwm.load(std::memory_order_relaxed);
+  c.loop_errors = counters_.loop_errors.load(std::memory_order_relaxed);
+  c.accept_failures =
+      counters_.accept_failures.load(std::memory_order_relaxed);
+  c.recv_errors = counters_.recv_errors.load(std::memory_order_relaxed);
+  c.send_errors = counters_.send_errors.load(std::memory_order_relaxed);
+  c.health_checks = counters_.health_checks.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -718,6 +821,11 @@ std::vector<std::pair<std::string, double>> Server::Introspect() const {
   put("serve.bytes_out", static_cast<double>(c.bytes_out));
   put("serve.queue_depth", static_cast<double>(c.queue_depth));
   put("serve.queue_depth_hwm", static_cast<double>(c.queue_depth_hwm));
+  put("serve.loop_errors", static_cast<double>(c.loop_errors));
+  put("serve.accept_failures", static_cast<double>(c.accept_failures));
+  put("serve.recv_errors", static_cast<double>(c.recv_errors));
+  put("serve.send_errors", static_cast<double>(c.send_errors));
+  put("serve.health_checks", static_cast<double>(c.health_checks));
   // Database gauges, same map: one Stats request observes the whole stack.
   put("db.base_rows", static_cast<double>(db_->base_rows()));
   put("db.num_rows", static_cast<double>(db_->num_rows()));
@@ -727,6 +835,9 @@ std::vector<std::pair<std::string, double>> Server::Introspect() const {
   put("db.compactions", static_cast<double>(db_->compactions()));
   put("db.queries_run", static_cast<double>(db_->queries_run()));
   put("db.persist_epoch", static_cast<double>(db_->persist_epoch()));
+  put("db.persist_poisoned", db_->persistence_poisoned() ? 1.0 : 0.0);
+  put("persist.dir_fsync_failures",
+      static_cast<double>(persist::DirFsyncFailures()));
   put("db.num_threads", static_cast<double>(db_->num_threads()));
   // Scan-kernel counters: which zone-map outcome each block took, and how
   // many were vector-filtered (nonzero only under the simd kernel).

@@ -64,6 +64,11 @@ struct ServerCounters {
   uint64_t bytes_out = 0;
   uint64_t queue_depth = 0;            ///< Inflight batch groups right now.
   uint64_t queue_depth_hwm = 0;        ///< High-water mark since start.
+  uint64_t loop_errors = 0;            ///< epoll_wait failures (fatal).
+  uint64_t accept_failures = 0;        ///< accept4 errors (EMFILE, ...).
+  uint64_t recv_errors = 0;            ///< recv errors that closed a conn.
+  uint64_t send_errors = 0;            ///< send errors that closed a conn.
+  uint64_t health_checks = 0;          ///< kHealth frames answered.
 };
 
 /// Non-blocking epoll serving loop in front of one flood::Database.
@@ -104,8 +109,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Runs the event loop on the calling thread until a drain completes.
-  void Run();
+  /// Runs the event loop on the calling thread until a drain completes
+  /// (returns OK) or the loop itself fails (typed Internal with the errno,
+  /// e.g. an epoll_wait failure — never a silent exit). Even on failure,
+  /// in-flight batches are waited out before returning, so no completion
+  /// callback can outlive the server.
+  Status Run();
 
   /// Runs the event loop on a background thread; pair with Shutdown() +
   /// Join(). Calling Start() twice is an error (FLOOD_CHECK).
@@ -114,8 +123,9 @@ class Server {
   /// Initiates the drain. Thread- and async-signal-safe; idempotent.
   void Shutdown();
 
-  /// Waits for the Start() thread to finish its drain. No-op after Run().
-  void Join();
+  /// Waits for the Start() thread to finish and returns its Run() status.
+  /// OK when called without a Start() thread.
+  Status Join();
 
   /// Resolved TCP port (after Create; meaningful when listen_tcp).
   uint16_t tcp_port() const { return tcp_port_; }
@@ -152,8 +162,14 @@ class Server {
   Server(Database* db, ServerOptions options);
   Status Init();
 
-  void Loop();
+  Status Loop();
   void HandleAccept(int listener_fd);
+  /// Accept-storm mitigation: on EMFILE/ENFILE-class accept failures the
+  /// listeners leave the epoll set for a cooldown instead of spinning on a
+  /// level-triggered event they can't clear; ResumeListeners() re-arms
+  /// them once the cooldown elapses.
+  void PauseListeners();
+  void ResumeListeners();
   void HandleReadable(Connection* conn);
   void HandleWritable(Connection* conn);
   void ProcessFrames(Connection* conn);
@@ -190,6 +206,11 @@ class Server {
   uint64_t next_conn_id_ = 1;
   bool draining_ = false;
   bool loop_done_ = false;
+  /// Loop-thread-owned; read by Run()/Join() only after the loop exits
+  /// (synchronized by the thread join).
+  Status loop_status_ = Status::OK();
+  bool listeners_paused_ = false;
+  std::chrono::steady_clock::time_point listener_resume_at_;
 
   /// Pool workers push, the loop (woken by wake_fd_) pops. Mutable: the
   /// drain-progress check is const.
@@ -213,6 +234,11 @@ class Server {
     std::atomic<uint64_t> bytes_out{0};
     std::atomic<uint64_t> queue_depth{0};
     std::atomic<uint64_t> queue_depth_hwm{0};
+    std::atomic<uint64_t> loop_errors{0};
+    std::atomic<uint64_t> accept_failures{0};
+    std::atomic<uint64_t> recv_errors{0};
+    std::atomic<uint64_t> send_errors{0};
+    std::atomic<uint64_t> health_checks{0};
   };
   AtomicCounters counters_;
 

@@ -173,6 +173,50 @@ TEST(ServeProtocolTest, ErrorAndAckAndStatsRoundTrip) {
   EXPECT_EQ(st->entries, stats.entries);
 }
 
+TEST(ServeProtocolTest, HealthRoundTrip) {
+  std::string out;
+  AppendHealth({41}, &out);
+  HealthResponse resp;
+  resp.request_id = 41;
+  resp.ready = false;
+  resp.draining = true;
+  resp.persist_poisoned = true;
+  resp.queue_depth = 9;
+  resp.connections_active = 3;
+  AppendHealthResult(resp, &out);
+
+  const std::vector<Frame> frames = Assemble(out);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kHealth);
+  const StatusOr<HealthRequest> req = ParseHealth(frames[0].payload);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->request_id, 41u);
+
+  EXPECT_EQ(frames[1].type, MessageType::kHealthResult);
+  const StatusOr<HealthResponse> parsed =
+      ParseHealthResult(frames[1].payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->request_id, 41u);
+  EXPECT_FALSE(parsed->ready);
+  EXPECT_TRUE(parsed->draining);
+  EXPECT_TRUE(parsed->persist_poisoned);
+  EXPECT_EQ(parsed->queue_depth, 9u);
+  EXPECT_EQ(parsed->connections_active, 3u);
+}
+
+TEST(ServeProtocolTest, HealthResultRejectsNonBooleanFlags) {
+  std::string out;
+  HealthResponse resp;
+  resp.request_id = 1;
+  AppendHealthResult(resp, &out);
+  const std::vector<Frame> frames = Assemble(out);
+  ASSERT_EQ(frames.size(), 1u);
+  std::string payload = frames[0].payload;
+  ASSERT_GE(payload.size(), 8u + 3u);
+  payload[8] = 2;  // First flag byte: not 0/1.
+  EXPECT_FALSE(ParseHealthResult(payload).ok());
+}
+
 TEST(ServeProtocolTest, WireCodeStatusMappingRoundTrips) {
   EXPECT_EQ(WireCodeFromStatus(Status::OK()), WireCode::kOk);
   EXPECT_EQ(WireCodeFromStatus(Status::InvalidArgument("x")),
@@ -181,6 +225,15 @@ TEST(ServeProtocolTest, WireCodeStatusMappingRoundTrips) {
   const Status overloaded = StatusFromWireCode(WireCode::kOverloaded, "shed");
   EXPECT_FALSE(overloaded.ok());
   EXPECT_NE(overloaded.ToString().find("Overloaded"), std::string::npos);
+  const Status deadline =
+      StatusFromWireCode(WireCode::kDeadlineExceeded, "slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  const Status unavailable = StatusFromWireCode(WireCode::kUnavailable, "no");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(WireCodeFromStatus(Status::DeadlineExceeded("x")),
+            WireCode::kDeadlineExceeded);
+  EXPECT_EQ(WireCodeFromStatus(Status::Unavailable("x")),
+            WireCode::kUnavailable);
 }
 
 // --- Frame assembly --------------------------------------------------------

@@ -23,6 +23,7 @@
 
 #include "api/database.h"
 #include "data/datasets.h"
+#include "serve/client.h"
 #include "serve/server.h"
 
 namespace {
@@ -39,9 +40,44 @@ void Usage(const char* argv0) {
       "usage: %s [--uds PATH] [--tcp PORT] [--host IPV4]\n"
       "          [--snapshot PATH | --rows N --dims D] [--index NAME]\n"
       "          [--threads N] [--max-inflight N] [--idle-timeout-ms MS]\n"
+      "       %s --check ADDRESS\n"
       "At least one of --uds / --tcp is required. --tcp 0 picks a free\n"
-      "port (printed on stdout as 'listening tcp ...').\n",
-      argv0);
+      "port (printed on stdout as 'listening tcp ...').\n"
+      "--check probes a running server's kHealth endpoint (bounded\n"
+      "deadlines, never hangs on a dead address) and exits 0 iff it is\n"
+      "ready.\n",
+      argv0, argv0);
+}
+
+/// `flood_serve --check ADDRESS`: health-probe a running server. Exit 0
+/// when ready, 1 when reachable but draining/poisoned, 2 when unreachable.
+int CheckHealth(const std::string& address) {
+  flood::serve::ClientOptions copts;
+  copts.connect_timeout_ms = 2'000;
+  copts.send_timeout_ms = 2'000;
+  copts.recv_timeout_ms = 2'000;
+  copts.retry.max_attempts = 3;
+  copts.retry.initial_backoff_ms = 50;
+  auto client = flood::serve::Client::Connect(address, copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 2;
+  }
+  auto health = client->Health();
+  if (!health.ok()) {
+    std::fprintf(stderr, "health: %s\n",
+                 health.status().ToString().c_str());
+    return 2;
+  }
+  std::printf(
+      "ready=%d draining=%d persist_poisoned=%d queue_depth=%llu "
+      "connections=%llu\n",
+      health->ready ? 1 : 0, health->draining ? 1 : 0,
+      health->persist_poisoned ? 1 : 0,
+      static_cast<unsigned long long>(health->queue_depth),
+      static_cast<unsigned long long>(health->connections_active));
+  return (health->ready && !health->persist_poisoned) ? 0 : 1;
 }
 
 }  // namespace
@@ -68,7 +104,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--uds") {
+    if (arg == "--check") {
+      return CheckHealth(next());
+    } else if (arg == "--uds") {
       uds_path = next();
     } else if (arg == "--tcp") {
       listen_tcp = true;
@@ -167,7 +205,14 @@ int main(int argc, char** argv) {
               index_name.c_str(), db->num_threads());
   std::fflush(stdout);
 
-  (*server)->Run();  // Returns after a SIGTERM/SIGINT-initiated drain.
+  // Returns OK after a SIGTERM/SIGINT-initiated drain; a typed error if
+  // the event loop itself failed (e.g. epoll_wait).
+  const flood::Status ran = (*server)->Run();
+  if (!ran.ok()) {
+    std::fprintf(stderr, "serve loop: %s\n", ran.ToString().c_str());
+    g_server = nullptr;
+    return 1;
+  }
 
   const flood::serve::ServerCounters c = (*server)->counters();
   std::printf(
