@@ -19,9 +19,17 @@
 // for), and aggregate QPS grows with connections until the database's
 // worker pool saturates.
 //
+// A second sweep covers the sharded router (PR 9): the same pipelined
+// wire workload against a serve::Router over N in-process shards,
+// N in {1, 2, 4} by default (--shards=1,2,4 or FLOOD_BENCH_SHARDS
+// overrides). Reported per point: QPS plus the router's pruning counters
+// (subqueries_sent / subqueries_pruned) — the JSON evidence that the
+// shard map is skipping shards, not broadcasting.
+//
 // Env knobs: FLOOD_BENCH_QUERIES (queries per strategy per connection
 // count), FLOOD_BENCH_THREADS (database pool width),
-// FLOOD_BENCH_DATASETS (dataset axis, shared with bench_throughput).
+// FLOOD_BENCH_DATASETS (dataset axis, shared with bench_throughput),
+// FLOOD_BENCH_SHARDS (shard axis, same grammar as --shards).
 
 #include <unistd.h>
 
@@ -29,8 +37,10 @@
 #include <atomic>
 #include <thread>
 
+#include "api/sharded_database.h"
 #include "bench/bench_main.h"
 #include "serve/client.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace flood {
@@ -45,6 +55,30 @@ const std::vector<size_t>& ConnectionSweep() {
   static const std::vector<size_t>* sweep =
       new std::vector<size_t>{1, 2, 4};
   return *sweep;
+}
+
+/// Shard axis for the router sweep; mutated once by ParseArgs.
+std::vector<size_t> g_shards_sweep = {1, 2, 4};
+
+/// Consumes --shards=1,2,4 (FLOOD_BENCH_SHARDS as fallback) before
+/// google-benchmark parses argv.
+void ParseArgs(int* argc, char** argv) {
+  std::string spec = ConsumeFlag(argc, argv, "shards");
+  if (spec.empty()) {
+    const char* env = std::getenv("FLOOD_BENCH_SHARDS");
+    if (env != nullptr) spec = env;
+  }
+  if (spec.empty()) return;
+  std::vector<size_t> sweep;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const long v = std::atol(spec.substr(pos, comma - pos).c_str());
+    if (v > 0) sweep.push_back(static_cast<size_t>(v));
+    pos = comma + 1;
+  }
+  if (!sweep.empty()) g_shards_sweep = std::move(sweep);
 }
 
 struct StrategyResult {
@@ -244,6 +278,96 @@ std::vector<BenchRow> Run() {
 
   PrintTable("Wire-protocol serving QPS (connections x batching strategy)",
              header, table);
+
+  // --- Sharded router sweep: same wire workload through a Router --------
+  const std::vector<std::string> shard_header{
+      "dataset", "shards", "QPS",           "p95 (ms)",
+      "sent",    "pruned", "prune fraction"};
+  std::vector<std::vector<std::string>> shard_table;
+  constexpr size_t kRouterConns = 2;
+
+  for (const std::string& ds_name : DatasetSweep()) {
+    const BenchDataset& ds = GetDataset(ds_name);
+    const size_t nq = NumQueries(2'000);
+    const auto [train, test] =
+        MakeWorkload(ds, WorkloadKind::kOlapSkewed, 400, 311).Split(0.5,
+                                                                    312);
+    // Shard on the dimension the workload filters most often — the
+    // router can only prune shards whose key range misses the sort-dim
+    // filter, so an unfiltered sort dim degenerates to broadcast.
+    size_t sort_dim = 0;
+    for (size_t d = 1; d < ds.table.num_dims(); ++d) {
+      if (train.FilterFrequency(d) > train.FilterFrequency(sort_dim)) {
+        sort_dim = d;
+      }
+    }
+    for (const size_t shards : g_shards_sweep) {
+      ShardedDatabaseOptions opts;
+      opts.num_shards = shards;
+      opts.sort_dim = sort_dim;
+      opts.shard_options.index_name = "flood";
+      opts.shard_options.training_workload = train;
+      // Split the pool across shards so every point uses comparable total
+      // parallelism (the axis measures routing, not extra threads).
+      opts.shard_options.num_threads = std::max<size_t>(1, threads / shards);
+      StatusOr<ShardedDatabase> db = ShardedDatabase::Open(ds.table, opts);
+      FLOOD_CHECK(db.ok());
+      std::unique_ptr<serve::Router> router = serve::Router::Over(&*db);
+
+      serve::ServerOptions sopts;
+      sopts.uds_path = "/tmp/flood_bench_router_" +
+                       std::to_string(::getpid()) + "_" + ds_name + "_" +
+                       std::to_string(shards) + ".sock";
+      sopts.max_inflight_batches = 256;
+      sopts.max_inflight_per_connection = 4 * kWindow;
+      StatusOr<std::unique_ptr<serve::Server>> server =
+          serve::Server::Create(router.get(), std::move(sopts));
+      FLOOD_CHECK(server.ok());
+      (*server)->Start();
+      const std::string address = "unix:" + (*server)->uds_path();
+
+      const size_t per_conn = std::max<size_t>(kWindow, nq / kRouterConns);
+      // Warm-up, then measure; counters are deltas over the measured run.
+      (void)RunStrategy(address, test, kRouterConns, per_conn / 4 + 1, 1,
+                        kWindow);
+      const serve::RouterCounters before = router->counters();
+      const StrategyResult r =
+          RunStrategy(address, test, kRouterConns, per_conn, 1, kWindow);
+      const serve::RouterCounters after = router->counters();
+      FLOOD_CHECK(r.shed == 0);
+
+      const double sent = static_cast<double>(after.subqueries_sent -
+                                              before.subqueries_sent);
+      const double pruned = static_cast<double>(after.subqueries_pruned -
+                                                before.subqueries_pruned);
+      const double prune_frac =
+          sent + pruned > 0 ? pruned / (sent + pruned) : 0.0;
+
+      shard_table.push_back({ds_name, std::to_string(shards),
+                             Format(r.qps, 0), FormatMs(r.p95_ms),
+                             Format(sent, 0), Format(pruned, 0),
+                             Format(prune_frac, 2)});
+      rows.push_back(
+          {"ServingSharded/" + ds_name + "/s" + std::to_string(shards),
+           r.wall_ms,
+           {{"qps", r.qps},
+            {"shards", static_cast<double>(shards)},
+            {"connections", static_cast<double>(kRouterConns)},
+            {"p50_ms", r.p50_ms},
+            {"p95_ms", r.p95_ms},
+            {"p99_ms", r.p99_ms},
+            {"subqueries_sent", sent},
+            {"subqueries_pruned", pruned},
+            {"prune_fraction", prune_frac}}});
+
+      (*server)->Shutdown();
+      (*server)->Join();
+    }
+  }
+
+  PrintTable("Sharded router QPS (pipelined, " +
+                 std::to_string(kRouterConns) + " connections x shards)",
+             shard_header, shard_table);
   return rows;
 }
 
@@ -251,4 +375,4 @@ std::vector<BenchRow> Run() {
 }  // namespace bench
 }  // namespace flood
 
-FLOOD_BENCH_MAIN(flood::bench::Run)
+FLOOD_BENCH_MAIN_ARGS(flood::bench::Run, flood::bench::ParseArgs)

@@ -17,7 +17,6 @@
 
 #include "common/failpoint.h"
 #include "common/macros.h"
-#include "persist/snapshot.h"
 
 namespace flood {
 namespace serve {
@@ -62,8 +61,11 @@ struct Server::Connection {
   std::chrono::steady_clock::time_point last_activity;
 };
 
-Server::Server(Database* db, ServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+Server::Server(BatchEngine* engine, std::unique_ptr<BatchEngine> owned,
+               ServerOptions options)
+    : engine_(engine),
+      owned_engine_(std::move(owned)),
+      options_(std::move(options)) {}
 
 Server::~Server() {
   if (loop_thread_.joinable()) {
@@ -87,11 +89,27 @@ Server::~Server() {
 StatusOr<std::unique_ptr<Server>> Server::Create(Database* db,
                                                  ServerOptions options) {
   FLOOD_CHECK(db != nullptr);
+  auto engine = std::make_unique<DatabaseEngine>(db);
+  BatchEngine* raw = engine.get();
   if (options.uds_path.empty() && !options.listen_tcp) {
     return Status::InvalidArgument(
         "server needs at least one listener (uds_path or listen_tcp)");
   }
-  std::unique_ptr<Server> server(new Server(db, std::move(options)));
+  std::unique_ptr<Server> server(
+      new Server(raw, std::move(engine), std::move(options)));
+  FLOOD_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Create(BatchEngine* engine,
+                                                 ServerOptions options) {
+  FLOOD_CHECK(engine != nullptr);
+  if (options.uds_path.empty() && !options.listen_tcp) {
+    return Status::InvalidArgument(
+        "server needs at least one listener (uds_path or listen_tcp)");
+  }
+  std::unique_ptr<Server> server(
+      new Server(engine, nullptr, std::move(options)));
   FLOOD_RETURN_IF_ERROR(server->Init());
   return server;
 }
@@ -526,7 +544,7 @@ void Server::HandleFrame(Connection* conn, const Frame& frame,
         ack.message = "server is draining";
         counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
       } else {
-        const Status status = db_->Insert(req->row);
+        const Status status = engine_->Insert(req->row);
         ack.code = WireCodeFromStatus(status);
         ack.message = status.message();
         counters_.writes_applied.fetch_add(1, std::memory_order_relaxed);
@@ -544,7 +562,7 @@ void Server::HandleFrame(Connection* conn, const Frame& frame,
         ack.message = "server is draining";
         counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
       } else {
-        const Status status = db_->InsertBatch(req->rows);
+        const Status status = engine_->InsertBatch(req->rows);
         ack.code = WireCodeFromStatus(status);
         ack.message = status.message();
         counters_.writes_applied.fetch_add(1, std::memory_order_relaxed);
@@ -562,7 +580,7 @@ void Server::HandleFrame(Connection* conn, const Frame& frame,
         ack.message = "server is draining";
         counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
       } else {
-        StatusOr<size_t> deleted = db_->Delete(req->key);
+        StatusOr<uint64_t> deleted = engine_->Delete(req->key);
         if (deleted.ok()) {
           ack.deleted = *deleted;
         } else {
@@ -590,11 +608,12 @@ void Server::HandleFrame(Connection* conn, const Frame& frame,
       // overloaded — health must stay observable exactly when the server
       // is unhealthy.
       counters_.health_checks.fetch_add(1, std::memory_order_relaxed);
+      const EngineHealth health = engine_->Health();
       HealthResponse resp;
       resp.request_id = req->request_id;
       resp.draining = draining_;
-      resp.ready = !draining_;
-      resp.persist_poisoned = db_->persistence_poisoned();
+      resp.ready = !draining_ && health.ready;
+      resp.persist_poisoned = health.persist_poisoned;
       resp.queue_depth = counters_.queue_depth.load(std::memory_order_relaxed);
       resp.connections_active =
           counters_.connections_active.load(std::memory_order_relaxed);
@@ -624,12 +643,13 @@ void Server::SubmitGroup(Connection* conn, std::vector<GroupFrame> frames,
   ++conn->inflight_groups;
 
   const uint64_t conn_id = conn->id;
-  // The callback runs on a pool worker (or inline when the database has no
-  // pool): it only touches the completion queue and the eventfd — all
-  // socket and connection state stays loop-owned.
-  db_->RunBatchAsync(
-      queries, [this, conn_id, frames = std::move(frames)](
-                   BatchResult batch) mutable {
+  // The callback runs on an engine worker (a pool thread, a router shard
+  // completion, or inline when there is no pool): it only touches the
+  // completion queue and the eventfd — all socket and connection state
+  // stays loop-owned.
+  engine_->RunBatchAsync(
+      std::move(queries), [this, conn_id, frames = std::move(frames)](
+                              EngineBatchResult batch) mutable {
         {
           std::lock_guard<std::mutex> lock(completions_mu_);
           completions_.push_back(
@@ -665,16 +685,29 @@ void Server::DrainCompletions() {
         resp.code = WireCodeFromStatus(c.batch.status);
         resp.message = c.batch.status.message();
       } else {
-        resp.results.reserve(gf.count);
-        for (size_t i = 0; i < gf.count; ++i) {
-          const QueryResult& qr = c.batch.results[gf.offset + i];
-          WireQueryResult wr;
-          wr.kind = qr.kind == QueryResult::Kind::kSum ? 1 : 0;
-          wr.skipped_empty = qr.skipped_empty;
-          wr.count = qr.count;
-          wr.sum = qr.sum;
-          wr.total_ns = static_cast<uint64_t>(qr.stats.total_ns);
-          resp.results.push_back(wr);
+        // Partial shed at frame granularity: a multi-shard engine can fail
+        // some queries (their shard shed or died) while the rest of the
+        // group succeeds — a frame whose slice contains any failed query
+        // becomes a typed error reply, sibling frames still get results.
+        for (size_t i = 0; i < gf.count && resp.code == WireCode::kOk; ++i) {
+          const EngineQueryResult& er = c.batch.results[gf.offset + i];
+          if (er.code != WireCode::kOk) {
+            resp.code = er.code;
+            resp.message = er.message;
+          }
+        }
+        if (resp.code == WireCode::kOk) {
+          resp.results.reserve(gf.count);
+          for (size_t i = 0; i < gf.count; ++i) {
+            const EngineQueryResult& er = c.batch.results[gf.offset + i];
+            WireQueryResult wr;
+            wr.kind = er.kind;
+            wr.skipped_empty = er.skipped_empty;
+            wr.count = er.count;
+            wr.sum = er.sum;
+            wr.total_ns = er.total_ns;
+            resp.results.push_back(wr);
+          }
         }
       }
       AppendBatchResult(resp, &conn->outbuf);
@@ -826,25 +859,11 @@ std::vector<std::pair<std::string, double>> Server::Introspect() const {
   put("serve.recv_errors", static_cast<double>(c.recv_errors));
   put("serve.send_errors", static_cast<double>(c.send_errors));
   put("serve.health_checks", static_cast<double>(c.health_checks));
-  // Database gauges, same map: one Stats request observes the whole stack.
-  put("db.base_rows", static_cast<double>(db_->base_rows()));
-  put("db.num_rows", static_cast<double>(db_->num_rows()));
-  put("db.pending_writes", static_cast<double>(db_->pending_writes()));
-  put("db.delta_inserts", static_cast<double>(db_->delta_inserts()));
-  put("db.delta_tombstones", static_cast<double>(db_->delta_tombstones()));
-  put("db.compactions", static_cast<double>(db_->compactions()));
-  put("db.queries_run", static_cast<double>(db_->queries_run()));
-  put("db.persist_epoch", static_cast<double>(db_->persist_epoch()));
-  put("db.persist_poisoned", db_->persistence_poisoned() ? 1.0 : 0.0);
-  put("persist.dir_fsync_failures",
-      static_cast<double>(persist::DirFsyncFailures()));
-  put("db.num_threads", static_cast<double>(db_->num_threads()));
-  // Scan-kernel counters: which zone-map outcome each block took, and how
-  // many were vector-filtered (nonzero only under the simd kernel).
-  const QueryStats qs = db_->cumulative_stats();
-  put("db.blocks_skipped", static_cast<double>(qs.blocks_skipped));
-  put("db.blocks_exact", static_cast<double>(qs.blocks_exact));
-  put("db.simd_blocks", static_cast<double>(qs.simd_blocks));
+  // Engine gauges, same map: one Stats request observes the whole stack
+  // (db.* for a database engine, router.*/shard<i>.* for a router).
+  for (auto& entry : engine_->Introspect()) {
+    entries.push_back(std::move(entry));
+  }
   return entries;
 }
 

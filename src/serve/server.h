@@ -14,6 +14,7 @@
 
 #include "api/database.h"
 #include "common/status.h"
+#include "serve/engine.h"
 #include "serve/protocol.h"
 
 namespace flood {
@@ -71,13 +72,16 @@ struct ServerCounters {
   uint64_t health_checks = 0;          ///< kHealth frames answered.
 };
 
-/// Non-blocking epoll serving loop in front of one flood::Database.
+/// Non-blocking epoll serving loop in front of one BatchEngine — a local
+/// flood::Database (the common case, via Create(Database*)) or the
+/// scatter-gather Router over many shards (serve/router.h); the loop is
+/// identical either way.
 ///
 /// One thread owns every socket and all connection state; query execution
-/// happens on the database's own ThreadPool via Database::RunBatchAsync,
-/// whose completion callback posts the finished batch back to the loop
-/// through an eventfd — the loop never blocks on execution, execution
-/// never touches a socket.
+/// happens behind BatchEngine::RunBatchAsync (the database's own
+/// ThreadPool, or the router's shard fan-out), whose completion callback
+/// posts the finished batch back to the loop through an eventfd — the
+/// loop never blocks on execution, execution never touches a socket.
 ///
 /// Per-connection batching: each time a connection becomes readable, ALL
 /// complete RunBatch frames buffered on it are concatenated into ONE
@@ -95,14 +99,21 @@ struct ServerCounters {
 /// request frames with kShuttingDown, lets every in-flight batch finish,
 /// flushes every response, closes, and Run()/the Start() thread returns.
 ///
-/// The Database must outlive the server and must not be moved while it
-/// runs (the server holds a pointer and keeps async batches in flight).
+/// The engine (and the Database behind it) must outlive the server and
+/// must not be moved while it runs (the server holds a pointer and keeps
+/// async batches in flight).
 class Server {
  public:
   /// Binds and listens on the configured endpoints (no thread started
   /// yet). Errors: no listener configured, bind/listen failures, UDS path
-  /// too long.
+  /// too long. This overload wraps `db` in an owned DatabaseEngine — the
+  /// single-node serving path.
   static StatusOr<std::unique_ptr<Server>> Create(Database* db,
+                                                  ServerOptions options);
+
+  /// As above over any BatchEngine (e.g. a Router). The engine is not
+  /// owned and must outlive the server.
+  static StatusOr<std::unique_ptr<Server>> Create(BatchEngine* engine,
                                                   ServerOptions options);
   ~Server();
 
@@ -135,9 +146,10 @@ class Server {
   ServerCounters counters() const;
 
   /// The counters as a flat key->value map ("serve.queue_depth_hwm", ...)
-  /// plus database gauges ("db.pending_writes", ...) — the same shape as
-  /// the PR 5 persistence telemetry and MultiDimIndex::DebugProperties,
-  /// and exactly what the Stats wire request returns.
+  /// plus the engine's gauges ("db.pending_writes", ... for a database,
+  /// "router.*"/"shard<i>.*" for a router) — the same shape as the PR 5
+  /// persistence telemetry and MultiDimIndex::DebugProperties, and exactly
+  /// what the Stats wire request returns.
   std::vector<std::pair<std::string, double>> Introspect() const;
 
  private:
@@ -151,15 +163,16 @@ class Server {
     size_t count = 0;
   };
 
-  /// One finished RunBatchAsync group, posted from a pool worker back to
-  /// the event loop.
+  /// One finished RunBatchAsync group, posted from a worker back to the
+  /// event loop.
   struct Completion {
     uint64_t conn_id = 0;
     std::vector<GroupFrame> frames;
-    BatchResult batch;
+    EngineBatchResult batch;
   };
 
-  Server(Database* db, ServerOptions options);
+  Server(BatchEngine* engine, std::unique_ptr<BatchEngine> owned,
+         ServerOptions options);
   Status Init();
 
   Status Loop();
@@ -189,7 +202,10 @@ class Server {
   void MaybeFinish(Connection* conn);
   bool draining_done() const;
 
-  Database* const db_;
+  BatchEngine* const engine_;
+  /// Set by the Create(Database*) convenience: the DatabaseEngine adapter
+  /// the server owns on the caller's behalf. engine_ points at it.
+  std::unique_ptr<BatchEngine> owned_engine_;
   ServerOptions options_;
 
   int epoll_fd_ = -1;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Check relative markdown links (and #anchors) across the repo's *.md files.
+
+Walks every tracked-looking markdown file (skipping build trees and
+.git), extracts inline links, and fails if a relative link points at a
+file that does not exist or at a heading anchor that no heading in the
+target file produces. External links (http/https/mailto) are ignored —
+CI should not depend on the network.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit:  0 all links resolve, 1 otherwise (each break printed as
+       file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", "build", "third_party", "_deps"}
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+# Inline link: [text](target) with an optional "title". Images share the
+# syntax (the leading ! is outside the brackets), so they are covered.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def strip_fenced_blocks(lines):
+    """Yield (lineno, line) for lines outside ``` / ~~~ fences."""
+    fence = None
+    for i, line in enumerate(lines, start=1):
+        m = FENCE_RE.match(line)
+        if m:
+            if fence is None:
+                fence = m.group(1)
+            elif m.group(1) == fence:
+                fence = None
+            continue
+        if fence is None:
+            yield i, line
+
+
+def github_slug(heading):
+    """Approximate GitHub's heading -> anchor id transformation."""
+    # Drop inline-code/emphasis markers and collapse heading links to
+    # their text before slugifying.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = re.sub(r"[`*]", "", text).strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+        # every other character is dropped
+    return "".join(out)
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        slugs = set()
+        counts = {}
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for _, line in strip_fenced_blocks(lines):
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md, root, anchor_cache):
+    errors = []
+    lines = md.read_text(encoding="utf-8").splitlines()
+    for lineno, line in strip_fenced_blocks(lines):
+        # Inline code spans can contain [x](y)-shaped text that is not
+        # a link (array indexing followed by a call, say).
+        line = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if SCHEME_RE.match(target):
+                continue  # external: http(s), mailto, ...
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append((md, lineno, f"broken link: {target}"))
+                continue
+            if not root in dest.parents and dest != root:
+                errors.append((md, lineno, f"link escapes repo: {target}"))
+                continue
+            if anchor:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    errors.append(
+                        (md, lineno, f"anchor on non-markdown target: {target}")
+                    )
+                elif anchor.lower() not in anchors_of(dest, anchor_cache):
+                    errors.append((md, lineno, f"missing anchor: {target}"))
+    return errors
+
+
+def main():
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    md_files = sorted(
+        p
+        for p in root.rglob("*.md")
+        if not (set(p.relative_to(root).parts[:-1]) & SKIP_DIRS)
+    )
+    if not md_files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+    anchor_cache = {}
+    errors = []
+    for md in md_files:
+        errors.extend(check_file(md, root, anchor_cache))
+    for md, lineno, msg in errors:
+        print(f"{md.relative_to(root)}:{lineno}: {msg}")
+    print(
+        f"checked {len(md_files)} markdown files, "
+        f"{len(errors)} broken link(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

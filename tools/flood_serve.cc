@@ -37,15 +37,40 @@ void HandleSignal(int /*signo*/) {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--uds PATH] [--tcp PORT] [--host IPV4]\n"
-      "          [--snapshot PATH | --rows N --dims D] [--index NAME]\n"
-      "          [--threads N] [--max-inflight N] [--idle-timeout-ms MS]\n"
+      "usage: %s [listener flags] [data flags] [tuning flags]\n"
       "       %s --check ADDRESS\n"
-      "At least one of --uds / --tcp is required. --tcp 0 picks a free\n"
-      "port (printed on stdout as 'listening tcp ...').\n"
+      "\n"
+      "Single-node serving binary for the flood wire protocol: one epoll\n"
+      "event loop in front of one flood::Database. For a sharded tier\n"
+      "over several of these, see flood_router (same protocol).\n"
+      "\n"
+      "Listener flags (at least one required):\n"
+      "  --uds PATH            listen on a Unix-domain socket\n"
+      "  --tcp PORT            listen on TCP (0 = pick a free port; the\n"
+      "                        resolved port is printed on stdout)\n"
+      "  --host IPV4           TCP bind address (default 127.0.0.1)\n"
+      "\n"
+      "Data flags (pick one source):\n"
+      "  --snapshot PATH       open a PR 5 snapshot: fast learned-layout\n"
+      "                        restore + WAL replay (production path)\n"
+      "  --rows N --dims D     synthetic uniform table (defaults\n"
+      "                        200000 x 4, for smoke tests and demos)\n"
+      "  --index NAME          index registry key (default flood;\n"
+      "                        kdtree, rtree, grid_file, zorder, ...)\n"
+      "\n"
+      "Tuning flags:\n"
+      "  --threads N           RunBatch worker threads (default:\n"
+      "                        hardware concurrency)\n"
+      "  --max-inflight N      admission control: max in-flight batch\n"
+      "                        groups before shedding kOverloaded\n"
+      "                        (default 64)\n"
+      "  --idle-timeout-ms MS  close idle connections (default 60000)\n"
+      "\n"
       "--check probes a running server's kHealth endpoint (bounded\n"
-      "deadlines, never hangs on a dead address) and exits 0 iff it is\n"
-      "ready.\n",
+      "deadlines, never hangs on a dead address); exit 0 iff ready,\n"
+      "1 when reachable but draining/poisoned, 2 when unreachable.\n"
+      "SIGTERM/SIGINT drain cleanly: in-flight work finishes, new\n"
+      "requests are shed with kShuttingDown, then exit 0.\n",
       argv0, argv0);
 }
 
