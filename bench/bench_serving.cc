@@ -39,6 +39,7 @@
 
 #include "api/sharded_database.h"
 #include "bench/bench_main.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/router.h"
 #include "serve/server.h"
@@ -90,20 +91,14 @@ struct StrategyResult {
   uint64_t shed = 0;  ///< kOverloaded replies (excluded from QPS).
 };
 
-double PercentileMs(std::vector<double>* latencies_ms, double p) {
-  if (latencies_ms->empty()) return 0;
-  std::sort(latencies_ms->begin(), latencies_ms->end());
-  const size_t rank = static_cast<size_t>(
-      p / 100.0 * static_cast<double>(latencies_ms->size()));
-  return (*latencies_ms)[std::min(rank, latencies_ms->size() - 1)];
-}
-
 /// One client thread's work: `quota` queries against `address`, grouped
-/// `frame_batch` queries per frame, `window` frames in flight. Appends
-/// per-reply round-trip latencies (ms) to `latencies_ms`.
+/// `frame_batch` queries per frame, `window` frames in flight. Records
+/// per-reply round-trip latencies (ns) into `latencies` — the shared
+/// obs::HistogramData replaces the hand-rolled percentile sort this
+/// bench used to carry (same log-bucketed readout as the server).
 void RunClient(const std::string& address, const Workload& workload,
                size_t quota, size_t frame_batch, size_t window,
-               std::vector<double>* latencies_ms, uint64_t* ok_queries,
+               obs::HistogramData* latencies, uint64_t* ok_queries,
                uint64_t* shed) {
   StatusOr<serve::Client> client = serve::Client::Connect(address);
   FLOOD_CHECK(client.ok());
@@ -143,7 +138,7 @@ void RunClient(const std::string& address, const Workload& workload,
       // Replies can arrive out of order; match the send time by id.
       for (auto& [id, watch] : inflight) {
         if (id == reply->request_id) {
-          latencies_ms->push_back(watch.ElapsedMillis());
+          latencies->Record(watch.ElapsedNanos());
           break;
         }
       }
@@ -155,7 +150,7 @@ StrategyResult RunStrategy(const std::string& address,
                            const Workload& workload, size_t connections,
                            size_t queries_per_conn, size_t frame_batch,
                            size_t window) {
-  std::vector<std::vector<double>> latencies(connections);
+  std::vector<obs::HistogramData> latencies(connections);
   std::vector<uint64_t> ok(connections, 0);
   std::vector<uint64_t> shed(connections, 0);
   std::vector<std::thread> threads;
@@ -171,17 +166,17 @@ StrategyResult RunStrategy(const std::string& address,
 
   StrategyResult r;
   uint64_t total_ok = 0;
-  std::vector<double> all;
+  obs::HistogramData all;
   for (size_t c = 0; c < connections; ++c) {
     total_ok += ok[c];
     r.shed += shed[c];
-    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    all.Merge(latencies[c]);
   }
   r.wall_ms = wall_ms;
   r.qps = wall_ms > 0 ? static_cast<double>(total_ok) / (wall_ms / 1e3) : 0;
-  r.p50_ms = PercentileMs(&all, 50);
-  r.p95_ms = PercentileMs(&all, 95);
-  r.p99_ms = PercentileMs(&all, 99);
+  r.p50_ms = static_cast<double>(all.Percentile(50)) / 1e6;
+  r.p95_ms = static_cast<double>(all.Percentile(95)) / 1e6;
+  r.p99_ms = static_cast<double>(all.Percentile(99)) / 1e6;
   return r;
 }
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <utility>
 
 #include "api/index_registry.h"
 #include "common/failpoint.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "persist/snapshot.h"
 #include "query/executor.h"
 #include "query/visitor.h"
@@ -15,18 +17,16 @@
 namespace flood {
 
 double BatchResult::LatencyPercentileMs(double p) const {
-  std::vector<int64_t> latencies;
-  latencies.reserve(results.size());
+  // One histogram implementation for every percentile reader in the repo
+  // (obs::HistogramData) instead of a private sort: the readout is the
+  // bucket upper bound clamped to the exact max, so p100 is still the
+  // exact slowest query and every p is within one log-linear bucket
+  // (<= 25%) of the sorted value.
+  obs::HistogramData hist;
   for (const QueryResult& r : results) {
-    if (!r.skipped_empty) latencies.push_back(r.stats.total_ns);
+    if (!r.skipped_empty) hist.Record(r.stats.total_ns);
   }
-  if (latencies.empty()) return 0.0;
-  std::sort(latencies.begin(), latencies.end());
-  p = std::clamp(p, 0.0, 100.0);
-  const size_t rank = static_cast<size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(latencies.size())));
-  const size_t idx = rank > 0 ? rank - 1 : 0;
-  return static_cast<double>(latencies[idx]) / 1e6;
+  return static_cast<double>(hist.Percentile(p)) / 1e6;
 }
 
 StatusOr<Database> Database::Open(const Table& table,
@@ -180,6 +180,7 @@ void Database::MergeDeltaAggregate(const Query& query,
   }
   const int64_t ns = timer.ElapsedNanos();
   result->stats.scan_ns += ns;
+  result->stats.delta_ns += ns;
   result->stats.total_ns += ns;
   result->count = count;
   result->sum = static_cast<int64_t>(sum);
@@ -217,8 +218,58 @@ void Database::RecordQueryLocked(const Query& query) {
   telemetry_->history_next = (telemetry_->history_next + 1) % cap;
 }
 
+void Database::NoteQueryMetrics(const QueryResult& result) const {
+  obs::DbMetrics& m = obs::GlobalDbMetrics();
+  if (result.skipped_empty) {
+    m.empty_skipped->Add(1);
+    return;
+  }
+  const QueryStats& s = result.stats;
+  m.queries->Add(1);
+  m.query_ns->Record(s.total_ns);
+  m.plan_ns->Record(s.index_ns);
+  m.scan_ns->Record(s.scan_ns);
+  m.delta_merge_ns->Record(s.delta_ns);
+  m.points_scanned->Add(s.points_scanned);
+  m.blocks_skipped->Add(s.blocks_skipped);
+  m.blocks_exact->Add(s.blocks_exact);
+  m.simd_blocks->Add(s.simd_blocks);
+  m.delta_rows_scanned->Add(s.delta_rows_scanned);
+  if (options_.slow_query_ns > 0 && s.total_ns > options_.slow_query_ns) {
+    m.slow_queries->Add(1);
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "slow_query threshold_ns=%lld total_ns=%lld plan_ns=%lld "
+        "scan_ns=%lld delta_ns=%lld refine_ns=%lld points_scanned=%llu "
+        "points_matched=%llu cells_visited=%llu ranges_scanned=%llu "
+        "blocks_skipped=%llu blocks_exact=%llu simd_blocks=%llu "
+        "delta_rows_scanned=%llu",
+        static_cast<long long>(options_.slow_query_ns),
+        static_cast<long long>(s.total_ns),
+        static_cast<long long>(s.index_ns),
+        static_cast<long long>(s.scan_ns),
+        static_cast<long long>(s.delta_ns),
+        static_cast<long long>(s.refine_ns),
+        static_cast<unsigned long long>(s.points_scanned),
+        static_cast<unsigned long long>(s.points_matched),
+        static_cast<unsigned long long>(s.cells_visited),
+        static_cast<unsigned long long>(s.ranges_scanned),
+        static_cast<unsigned long long>(s.blocks_skipped),
+        static_cast<unsigned long long>(s.blocks_exact),
+        static_cast<unsigned long long>(s.simd_blocks),
+        static_cast<unsigned long long>(s.delta_rows_scanned));
+    if (options_.slow_query_log) {
+      options_.slow_query_log(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line);
+    }
+  }
+}
+
 void Database::RecordTelemetry(const Query& query,
                                const QueryResult& result) {
+  NoteQueryMetrics(result);
   std::lock_guard<std::mutex> lock(telemetry_->mu);
   ++telemetry_->queries_run;
   if (result.skipped_empty) {
@@ -265,6 +316,7 @@ StatusOr<QueryResult> Database::TryCollect(const Query& query) {
                  &result.stats);
       const int64_t ns = timer.ElapsedNanos();
       result.stats.scan_ns += ns;
+      result.stats.delta_ns += ns;
       result.stats.total_ns += ns;
     }
     result.rows = std::move(visitor.mutable_rows());
@@ -296,6 +348,7 @@ void Database::RunShard(std::span<const Query> queries, size_t begin,
   std::shared_lock<std::shared_mutex> lock(write_->mu);
   for (size_t i = begin; i < end; ++i) {
     results[i] = ExecuteQueryLocked(queries[i]);
+    NoteQueryMetrics(results[i]);
     if (results[i].skipped_empty) {
       ++acc->empty_skipped;
     } else {
@@ -356,6 +409,11 @@ BatchResult Database::RunBatch(const Workload& workload) {
 
 void Database::FoldBatchTelemetry(std::span<const Query> queries,
                                   const BatchResult& batch) {
+  {
+    obs::DbMetrics& m = obs::GlobalDbMetrics();
+    m.batch_ns->Record(static_cast<int64_t>(batch.wall_ms * 1e6));
+    m.batch_queries->Record(static_cast<int64_t>(queries.size()));
+  }
   std::lock_guard<std::mutex> lock(telemetry_->mu);
   telemetry_->stats.Merge(batch.stats);
   telemetry_->queries_run += queries.size();
@@ -521,6 +579,15 @@ Status Database::CompactLocked(const Workload* workload) {
   // Lets tests force a compaction failure without corrupting anything —
   // the auto-compaction backoff policy below is exercised through here.
   FLOOD_FAILPOINT("db.compact");
+  // The whole body runs under the exclusive lock: its duration IS the
+  // pause queries and writes observe.
+  const Stopwatch pause;
+  struct PauseRecorder {
+    const Stopwatch& watch;
+    ~PauseRecorder() {
+      obs::GlobalDbMetrics().compaction_pause_ns->Record(watch.ElapsedNanos());
+    }
+  } pause_recorder{pause};
   Workload recorded;
   if (workload == nullptr) {
     {
@@ -570,6 +637,13 @@ Status Database::CompactLocked(const Workload* workload) {
 }
 
 Status Database::SaveLocked(const std::string& path) {
+  const Stopwatch checkpoint;
+  struct CheckpointRecorder {
+    const Stopwatch& watch;
+    ~CheckpointRecorder() {
+      obs::GlobalDbMetrics().checkpoint_ns->Record(watch.ElapsedNanos());
+    }
+  } checkpoint_recorder{checkpoint};
   persist::SnapshotContents contents;
   contents.epoch = write_->epoch + 1;
   contents.index_name = index_name_;

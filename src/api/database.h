@@ -80,7 +80,13 @@ struct BatchResult {
   }
 
   /// Nearest-rank latency percentile (p in (0, 100]) over executed
-  /// queries' end-to-end times. Empty-skipped queries are excluded.
+  /// queries' end-to-end times; empty-skipped queries are excluded.
+  /// Computed through obs::HistogramData (the process-wide histogram
+  /// type), so the readout is the upper bound of the log-linear bucket
+  /// holding the rank — within 25% of the exact-sort value by
+  /// construction, and p >= 100 is the exact maximum. Every percentile
+  /// reader in the repo (this, the serving metrics, bench_serving) now
+  /// shares that one implementation.
   double LatencyPercentileMs(double p) const;
 
   double P50LatencyMs() const { return LatencyPercentileMs(50.0); }
@@ -150,6 +156,15 @@ struct DatabaseOptions {
   std::string wal_path;
   /// Crash-durability level of WAL commits (meaningless without wal_path).
   Durability durability = Durability::kAsync;
+  /// Slow-query tracing: a query whose end-to-end time exceeds this many
+  /// nanoseconds emits one structured log line with its stage breakdown
+  /// (plan/scan/delta/refine ns) and zone-map/SIMD counters, and bumps
+  /// the flood_db_slow_queries_total metric. 0 (default) disables.
+  int64_t slow_query_ns = 0;
+  /// Where slow-query lines go; null logs to stderr. Must be callable
+  /// from pool workers (it runs on whichever thread executed the query)
+  /// and must not call back into this database.
+  std::function<void(const std::string&)> slow_query_log;
 };
 
 /// The front door of the library: owns a table and one index over it, and
@@ -541,6 +556,12 @@ class Database {
                 QueryResult* results, ShardAccum* acc) const;
 
   void RecordTelemetry(const Query& query, const QueryResult& result);
+
+  /// Lock-free per-query observability fold: process-wide histograms and
+  /// counters (src/obs/) plus the slow-query trace. Called once per
+  /// executed query, on the thread that ran it — from RunShard's loop for
+  /// batches, from RecordTelemetry for single Run/Collect.
+  void NoteQueryMetrics(const QueryResult& result) const;
 
   /// Folds a finished batch into the cumulative telemetry + history ring;
   /// called once per batch, from RunBatch or the last async shard.

@@ -1,0 +1,281 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace flood::obs {
+
+int64_t HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p >= 100.0) return max;
+  if (p < 0.0) p = 0.0;
+  // Nearest rank: the ceil(p/100 * count)-th smallest value, 1-based;
+  // p == 0 reads the minimum's bucket.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return std::min(BucketUpperBound(i), max);
+  }
+  return max;  // unreachable when counts are consistent
+}
+
+std::size_t ThisThreadSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const int64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!word(name[0])) return false;
+  for (char c : name) {
+    if (!word(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  struct Entry {
+    MetricKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu;
+  std::map<std::string, Entry> entries;  // sorted => stable exposition order
+};
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked on purpose: metric handles are held by static per-layer bundles
+  // and may be touched during static destruction.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  Impl* p = impl_.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(p, fresh, std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return p;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help) {
+  FLOOD_CHECK(ValidMetricName(name));
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto& e = im->entries[name];
+  if (e.counter == nullptr) {
+    FLOOD_CHECK(e.gauge == nullptr && e.histogram == nullptr);
+    e.kind = MetricKind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  FLOOD_CHECK(e.kind == MetricKind::kCounter);
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help) {
+  FLOOD_CHECK(ValidMetricName(name));
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto& e = im->entries[name];
+  if (e.gauge == nullptr) {
+    FLOOD_CHECK(e.counter == nullptr && e.histogram == nullptr);
+    e.kind = MetricKind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  FLOOD_CHECK(e.kind == MetricKind::kGauge);
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help) {
+  FLOOD_CHECK(ValidMetricName(name));
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto& e = im->entries[name];
+  if (e.histogram == nullptr) {
+    FLOOD_CHECK(e.counter == nullptr && e.gauge == nullptr);
+    e.kind = MetricKind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>();
+  }
+  FLOOD_CHECK(e.kind == MetricKind::kHistogram);
+  return e.histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::SnapshotAll() const {
+  Impl* im = const_cast<MetricsRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  std::vector<MetricSnapshot> out;
+  out.reserve(im->entries.size());
+  for (const auto& [name, e] : im->entries) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.help = e.help;
+    snap.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        snap.value = static_cast<double>(e.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        snap.value = static_cast<double>(e.gauge->Value());
+        break;
+      case MetricKind::kHistogram:
+        snap.hist = e.histogram->Snapshot();
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-layer bundles
+// ---------------------------------------------------------------------------
+
+DbMetrics& GlobalDbMetrics() {
+  static DbMetrics m = [] {
+    auto& r = MetricsRegistry::Instance();
+    DbMetrics b;
+    b.query_ns = r.RegisterHistogram("flood_db_query_ns",
+                                     "Per-query end-to-end latency (ns)");
+    b.batch_ns =
+        r.RegisterHistogram("flood_db_batch_ns", "RunBatch wall time (ns)");
+    b.batch_queries = r.RegisterHistogram("flood_db_batch_queries",
+                                          "Queries per RunBatch call");
+    b.plan_ns = r.RegisterHistogram(
+        "flood_db_plan_ns", "Per-query index planning / cell selection (ns)");
+    b.scan_ns = r.RegisterHistogram(
+        "flood_db_scan_ns", "Per-query cell scan incl. refinement (ns)");
+    b.delta_merge_ns = r.RegisterHistogram(
+        "flood_db_delta_merge_ns", "Per-query delta-buffer merge (ns)");
+    b.compaction_pause_ns = r.RegisterHistogram(
+        "flood_db_compaction_pause_ns",
+        "Exclusive-lock pause while compacting + retraining (ns)");
+    b.checkpoint_ns = r.RegisterHistogram(
+        "flood_db_checkpoint_ns", "Save() snapshot checkpoint duration (ns)");
+    b.queries =
+        r.RegisterCounter("flood_db_queries_total", "Queries executed");
+    b.slow_queries = r.RegisterCounter(
+        "flood_db_slow_queries_total",
+        "Queries slower than DatabaseOptions.slow_query_ns");
+    b.empty_skipped = r.RegisterCounter(
+        "flood_db_empty_skipped_total",
+        "Batch queries answered empty without execution");
+    b.points_scanned =
+        r.RegisterCounter("flood_db_points_scanned_total", "Points scanned");
+    b.blocks_skipped = r.RegisterCounter(
+        "flood_db_blocks_skipped_total", "Blocks skipped by zone maps");
+    b.blocks_exact = r.RegisterCounter(
+        "flood_db_blocks_exact_total",
+        "Blocks zone-map-accepted without per-row refinement");
+    b.simd_blocks = r.RegisterCounter("flood_db_simd_blocks_total",
+                                      "Blocks scanned by the SIMD kernel");
+    b.delta_rows_scanned = r.RegisterCounter(
+        "flood_db_delta_rows_scanned_total", "Delta-buffer rows scanned");
+    return b;
+  }();
+  return m;
+}
+
+ServeMetrics& GlobalServeMetrics() {
+  static ServeMetrics m = [] {
+    auto& r = MetricsRegistry::Instance();
+    ServeMetrics b;
+    b.frame_ns = r.RegisterHistogram(
+        "flood_serve_frame_ns",
+        "Request group latency: submit to completion drained (ns)");
+    b.exec_ns = r.RegisterHistogram("flood_serve_exec_ns",
+                                    "Engine execution time per group (ns)");
+    b.queue_wait_ns = r.RegisterHistogram(
+        "flood_serve_queue_wait_ns",
+        "Admission + pool queue wait per group (frame - exec) (ns)");
+    b.batch_queries = r.RegisterHistogram(
+        "flood_serve_batch_queries", "Queries folded into one engine group");
+    b.connections =
+        r.RegisterGauge("flood_serve_connections", "Open client connections");
+    b.frames = r.RegisterCounter("flood_serve_frames_total",
+                                 "Request frames processed");
+    b.scrapes = r.RegisterCounter("flood_serve_scrapes_total",
+                                  "HTTP /metrics scrapes served");
+    return b;
+  }();
+  return m;
+}
+
+RouterMetrics& GlobalRouterMetrics() {
+  static RouterMetrics m = [] {
+    auto& r = MetricsRegistry::Instance();
+    RouterMetrics b;
+    b.fanout_ns = r.RegisterHistogram(
+        "flood_router_fanout_ns",
+        "Scatter to per-shard reply latency, one sample per shard (ns)");
+    b.subqueries = r.RegisterCounter("flood_router_subqueries_total",
+                                     "Per-shard subqueries considered");
+    b.subqueries_pruned = r.RegisterCounter(
+        "flood_router_subqueries_pruned_total",
+        "Subqueries skipped because the shard key range cannot match");
+    return b;
+  }();
+  return m;
+}
+
+PersistMetrics& GlobalPersistMetrics() {
+  static PersistMetrics m = [] {
+    auto& r = MetricsRegistry::Instance();
+    PersistMetrics b;
+    b.wal_append_ns = r.RegisterHistogram(
+        "flood_persist_wal_append_ns",
+        "WAL group-commit append incl. fsync when kSync (ns)");
+    b.fsync_ns =
+        r.RegisterHistogram("flood_persist_fsync_ns", "fsync duration (ns)");
+    b.snapshot_write_ns = r.RegisterHistogram(
+        "flood_persist_snapshot_write_ns",
+        "Snapshot serialize + write + rename duration (ns)");
+    return b;
+  }();
+  return m;
+}
+
+}  // namespace flood::obs

@@ -1,0 +1,32 @@
+#pragma once
+// Prometheus text exposition (v0.0.4) rendering for metric snapshots.
+// Pure string formatting — no sockets; the HTTP listener lives in
+// src/serve/server.cc.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace flood::obs {
+
+// A metric name sanitized for the exposition format: every character
+// outside [a-zA-Z0-9_] becomes '_', a leading digit gets a '_' prefix,
+// and names not already starting with "flood" gain a "flood_" prefix
+// (Introspect() keys like "serve.frames" arrive dotted and unprefixed).
+std::string SanitizeMetricName(const std::string& name);
+
+// Renders registry snapshots plus ad-hoc gauges (e.g. the serving tier's
+// Introspect() map) as Prometheus text exposition v0.0.4:
+//   - counters:   `# TYPE n counter` + `n <v>`
+//   - gauges:     `# TYPE n gauge` + `n <v>`
+//   - histograms: cumulative `n_bucket{le="..."}` series (non-empty
+//     buckets + `+Inf`), `n_sum`, `n_count`
+// `extra_gauges` names are sanitized; snapshot names are assumed valid
+// (the registry enforces that at registration).
+std::string RenderPrometheus(
+    const std::vector<MetricSnapshot>& snapshots,
+    const std::vector<std::pair<std::string, double>>& extra_gauges = {});
+
+}  // namespace flood::obs

@@ -10,6 +10,8 @@
 
 #include "common/bytes.h"
 #include "common/failpoint.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "persist/format.h"
 
 namespace flood {
@@ -51,9 +53,11 @@ void FsyncParentDir(const std::string& path) {
     g_dir_fsync_failures.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  const Stopwatch fsync_watch;
   if (failpoint::InjectedFsync("persist.dir_fsync", dir_fd) != 0) {
     g_dir_fsync_failures.fetch_add(1, std::memory_order_relaxed);
   }
+  obs::GlobalPersistMetrics().fsync_ns->Record(fsync_watch.ElapsedNanos());
   ::close(dir_fd);
 }
 
@@ -271,9 +275,12 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
   if (fd < 0) return Status::Internal(ErrnoMessage("open", tmp));
   Status status =
       WriteAllFd(fd, data.data(), data.size(), tmp, "persist.snapshot.write");
-  if (status.ok() &&
-      failpoint::InjectedFsync("persist.snapshot.fsync", fd) != 0) {
-    status = Status::Internal(ErrnoMessage("fsync", tmp));
+  if (status.ok()) {
+    const Stopwatch fsync_watch;
+    if (failpoint::InjectedFsync("persist.snapshot.fsync", fd) != 0) {
+      status = Status::Internal(ErrnoMessage("fsync", tmp));
+    }
+    obs::GlobalPersistMetrics().fsync_ns->Record(fsync_watch.ElapsedNanos());
   }
   ::close(fd);
   if (!status.ok()) {
@@ -295,6 +302,16 @@ Status WriteSnapshot(const std::string& path, const SnapshotContents& c) {
   if (c.base == nullptr || c.base->num_rows() == 0) {
     return InvalidSnapshot("a snapshot requires a non-empty base table");
   }
+  // Serialize + write + rename, success or not: a failed checkpoint's
+  // duration is exactly what callers stalled on.
+  const Stopwatch watch;
+  struct DurationRecorder {
+    const Stopwatch& watch;
+    ~DurationRecorder() {
+      obs::GlobalPersistMetrics().snapshot_write_ns->Record(
+          watch.ElapsedNanos());
+    }
+  } recorder{watch};
 
   // Serialize every section payload first; the header needs their sizes.
   struct Section {

@@ -9,6 +9,8 @@
 
 #include "common/bytes.h"
 #include "common/failpoint.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "persist/snapshot.h"
 
 namespace flood {
@@ -193,6 +195,15 @@ void WalWriter::AppendRecord(WalRecordType type,
 
 Status WalWriter::Commit() {
   if (pending_.empty()) return Status::OK();
+  // Group-commit latency: repair + write + (kSync) fsync. This is the
+  // durability tax every acknowledged write pays.
+  const Stopwatch watch;
+  struct DurationRecorder {
+    const Stopwatch& watch;
+    ~DurationRecorder() {
+      obs::GlobalPersistMetrics().wal_append_ns->Record(watch.ElapsedNanos());
+    }
+  } recorder{watch};
   if (dirty_past_end_) {
     // A previous commit failed mid-write(): unacknowledged partial bytes
     // may sit past file_bytes_, and appending after them would make every
@@ -207,9 +218,12 @@ Status WalWriter::Commit() {
   }
   Status committed =
       WriteAllFd(fd_, pending_.data(), pending_.size(), path_, "wal.append");
-  if (committed.ok() && sync_ &&
-      failpoint::InjectedFsync("wal.fsync", fd_) != 0) {
-    committed = Status::Internal(ErrnoMessage("fsync", path_));
+  if (committed.ok() && sync_) {
+    const Stopwatch fsync_watch;
+    if (failpoint::InjectedFsync("wal.fsync", fd_) != 0) {
+      committed = Status::Internal(ErrnoMessage("fsync", path_));
+    }
+    obs::GlobalPersistMetrics().fsync_ns->Record(fsync_watch.ElapsedNanos());
   }
   if (!committed.ok()) {
     // The batch was never acknowledged; drop it and mark the file tail

@@ -24,7 +24,8 @@ struct QueryStats {
   // --- Timings (nanoseconds) ---------------------------------------------
   int64_t index_ns = 0;   ///< Projection / tree traversal time.
   int64_t refine_ns = 0;  ///< Refinement time (Flood only; included in TT).
-  int64_t scan_ns = 0;    ///< Scan + filter time.
+  int64_t scan_ns = 0;    ///< Scan + filter time (includes delta_ns).
+  int64_t delta_ns = 0;   ///< Delta-buffer merge share of scan_ns.
   int64_t total_ns = 0;   ///< End-to-end query time.
 
   // --- Accumulator bookkeeping (zero on single-query stats) ---------------
@@ -46,6 +47,7 @@ struct QueryStats {
     index_ns += o.index_ns;
     refine_ns += o.refine_ns;
     scan_ns += o.scan_ns;
+    delta_ns += o.delta_ns;
     total_ns += o.total_ns;
   }
 

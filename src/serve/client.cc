@@ -479,5 +479,28 @@ StatusOr<std::vector<std::pair<std::string, double>>> Client::Stats() {
   return Status::Internal("unexpected response frame to Stats");
 }
 
+StatusOr<MetricsResponse> Client::Metrics() {
+  const uint64_t id = NextId();
+  std::string out;
+  AppendMetrics({id}, &out);
+  FLOOD_RETURN_IF_ERROR(WriteAll(out));
+  StatusOr<Frame> frame = ReadFrame();
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kMetricsResult) {
+    StatusOr<MetricsResponse> resp = ParseMetricsResult(frame->payload);
+    if (!resp.ok()) return resp.status();
+    if (resp->request_id != id) {
+      return Status::Internal("metrics reply for the wrong request id");
+    }
+    return resp;
+  }
+  if (frame->type == MessageType::kError) {
+    StatusOr<ErrorResponse> err = ParseError(frame->payload);
+    if (!err.ok()) return err.status();
+    return StatusFromWireCode(err->code, err->message);
+  }
+  return Status::Internal("unexpected response frame to Metrics");
+}
+
 }  // namespace serve
 }  // namespace flood

@@ -97,6 +97,12 @@ class Client {
   /// The server's introspection map (serve.* counters + db.* gauges).
   StatusOr<std::vector<std::pair<std::string, double>>> Stats();
 
+  /// The server's full typed metrics snapshot: every registry metric
+  /// (histograms with buckets, sum, count, exact max) plus the same flat
+  /// entries Stats() returns — one round-trip for everything the
+  /// Prometheus endpoint exposes, in binary.
+  StatusOr<MetricsResponse> Metrics();
+
   // --- Pipelining ----------------------------------------------------------
 
   /// Enqueues one RunBatch frame without waiting for the reply. Pair each

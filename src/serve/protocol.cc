@@ -234,6 +234,11 @@ void AppendHealth(const HealthRequest& req, std::string* out) {
              [&](ByteWriter* w) { w->PutU64(req.request_id); });
 }
 
+void AppendMetrics(const MetricsRequest& req, std::string* out) {
+  AppendWith(MessageType::kMetrics, out,
+             [&](ByteWriter* w) { w->PutU64(req.request_id); });
+}
+
 void AppendHealthResult(const HealthResponse& resp, std::string* out) {
   AppendWith(MessageType::kHealthResult, out, [&](ByteWriter* w) {
     w->PutU64(resp.request_id);
@@ -279,6 +284,40 @@ void AppendWriteAck(const WriteAckResponse& resp, std::string* out) {
 void AppendStatsResult(const StatsResponse& resp, std::string* out) {
   AppendWith(MessageType::kStatsResult, out, [&](ByteWriter* w) {
     w->PutU64(resp.request_id);
+    w->PutU32(static_cast<uint32_t>(resp.entries.size()));
+    for (const auto& [key, value] : resp.entries) {
+      w->PutString(key);
+      w->PutF64(value);
+    }
+  });
+}
+
+void AppendMetricsResult(const MetricsResponse& resp, std::string* out) {
+  AppendWith(MessageType::kMetricsResult, out, [&](ByteWriter* w) {
+    w->PutU64(resp.request_id);
+    w->PutU32(static_cast<uint32_t>(resp.metrics.size()));
+    for (const obs::MetricSnapshot& m : resp.metrics) {
+      w->PutString(m.name);
+      w->PutString(m.help);
+      w->PutU8(static_cast<uint8_t>(m.kind));
+      if (m.kind == obs::MetricKind::kHistogram) {
+        w->PutU64(m.hist.count);
+        w->PutI64(m.hist.sum);
+        w->PutI64(m.hist.max);
+        // Sparse buckets: (index, count) pairs for non-empty buckets only
+        // — a fresh histogram costs 4 bytes, never kNumBuckets * 8.
+        uint32_t nonempty = 0;
+        for (uint64_t c : m.hist.buckets) nonempty += c != 0 ? 1 : 0;
+        w->PutU32(nonempty);
+        for (uint32_t i = 0; i < obs::kNumBuckets; ++i) {
+          if (m.hist.buckets[i] == 0) continue;
+          w->PutU32(i);
+          w->PutU64(m.hist.buckets[i]);
+        }
+      } else {
+        w->PutF64(m.value);
+      }
+    }
     w->PutU32(static_cast<uint32_t>(resp.entries.size()));
     for (const auto& [key, value] : resp.entries) {
       w->PutString(key);
@@ -363,6 +402,66 @@ StatusOr<HealthRequest> ParseHealth(std::string_view payload) {
   HealthRequest req;
   req.request_id = r.GetU64();
   return Finish(r, std::move(req), "Health");
+}
+
+StatusOr<MetricsRequest> ParseMetrics(std::string_view payload) {
+  ByteReader r(payload);
+  MetricsRequest req;
+  req.request_id = r.GetU64();
+  return Finish(r, std::move(req), "Metrics");
+}
+
+StatusOr<MetricsResponse> ParseMetricsResult(std::string_view payload) {
+  ByteReader r(payload);
+  MetricsResponse resp;
+  resp.request_id = r.GetU64();
+  const uint32_t num_metrics = r.GetU32();
+  // >= 17 bytes per metric (two empty strings, kind, f64 value).
+  if (static_cast<size_t>(num_metrics) * 17 > r.remaining()) {
+    return ParseFailed("MetricsResult");
+  }
+  resp.metrics.resize(num_metrics);
+  for (uint32_t i = 0; i < num_metrics; ++i) {
+    obs::MetricSnapshot& m = resp.metrics[i];
+    m.name = r.GetString();
+    m.help = r.GetString();
+    const uint8_t kind = r.GetU8();
+    if (kind > static_cast<uint8_t>(obs::MetricKind::kHistogram)) {
+      return ParseFailed("MetricsResult");
+    }
+    m.kind = static_cast<obs::MetricKind>(kind);
+    if (m.kind == obs::MetricKind::kHistogram) {
+      m.hist.count = r.GetU64();
+      m.hist.sum = r.GetI64();
+      m.hist.max = r.GetI64();
+      const uint32_t nonempty = r.GetU32();
+      // 12 bytes per sparse bucket (u32 index, u64 count).
+      if (static_cast<size_t>(nonempty) * 12 > r.remaining()) {
+        return ParseFailed("MetricsResult");
+      }
+      for (uint32_t b = 0; b < nonempty; ++b) {
+        const uint32_t idx = r.GetU32();
+        const uint64_t count = r.GetU64();
+        if (idx >= obs::kNumBuckets || count == 0) {
+          return ParseFailed("MetricsResult");
+        }
+        m.hist.buckets[idx] = count;
+      }
+    } else {
+      m.value = r.GetF64();
+    }
+  }
+  const uint32_t num_entries = r.GetU32();
+  // >= 12 bytes per entry (empty key).
+  if (static_cast<size_t>(num_entries) * 12 > r.remaining()) {
+    return ParseFailed("MetricsResult");
+  }
+  resp.entries.resize(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    resp.entries[i].first = r.GetString();
+    resp.entries[i].second = r.GetF64();
+  }
+  return Finish(r, std::move(resp), "MetricsResult");
 }
 
 StatusOr<HealthResponse> ParseHealthResult(std::string_view payload) {

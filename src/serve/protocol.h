@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "query/query.h"
 #include "storage/column.h"
 
@@ -55,12 +56,14 @@ enum class MessageType : uint8_t {
   kDelete = 0x05,
   kStats = 0x06,
   kHealth = 0x07,
+  kMetrics = 0x08,
 
   kPong = 0x81,
   kBatchResult = 0x82,
   kWriteAck = 0x83,
   kStatsResult = 0x84,
   kHealthResult = 0x85,
+  kMetricsResult = 0x86,
   kError = 0x8F,
 };
 
@@ -142,6 +145,14 @@ struct HealthRequest {
   uint64_t request_id = 0;
 };
 
+/// Full typed metrics snapshot (superset of kStats): every registry
+/// metric — counters, gauges, and histograms with their buckets — plus
+/// the flat Introspect() map as ad-hoc gauges. Answered inline from the
+/// event loop, including while draining.
+struct MetricsRequest {
+  uint64_t request_id = 0;
+};
+
 // --- Response bodies -------------------------------------------------------
 
 struct PongResponse {
@@ -193,6 +204,18 @@ struct HealthResponse {
   uint64_t connections_active = 0;
 };
 
+/// The kMetricsResult body: typed registry metrics (histograms travel
+/// with their non-empty buckets, sum, count, and exact max) plus the
+/// flat Introspect() map — so one round-trip carries everything the
+/// Prometheus endpoint exposes, in binary.
+struct MetricsResponse {
+  uint64_t request_id = 0;
+  std::vector<obs::MetricSnapshot> metrics;
+  /// Flat introspection entries (serve.* / db.* / router.*), identical
+  /// to StatsResponse::entries.
+  std::vector<std::pair<std::string, double>> entries;
+};
+
 struct ErrorResponse {
   uint64_t request_id = 0;  ///< 0 when the offending frame had no id.
   WireCode code = WireCode::kBadFrame;
@@ -214,12 +237,14 @@ void AppendInsertBatch(const InsertBatchRequest& req, std::string* out);
 void AppendDelete(const DeleteRequest& req, std::string* out);
 void AppendStats(const StatsRequest& req, std::string* out);
 void AppendHealth(const HealthRequest& req, std::string* out);
+void AppendMetrics(const MetricsRequest& req, std::string* out);
 
 void AppendPong(const PongResponse& resp, std::string* out);
 void AppendBatchResult(const BatchResultResponse& resp, std::string* out);
 void AppendWriteAck(const WriteAckResponse& resp, std::string* out);
 void AppendStatsResult(const StatsResponse& resp, std::string* out);
 void AppendHealthResult(const HealthResponse& resp, std::string* out);
+void AppendMetricsResult(const MetricsResponse& resp, std::string* out);
 void AppendError(const ErrorResponse& resp, std::string* out);
 
 // --- Decoding --------------------------------------------------------------
@@ -235,12 +260,14 @@ StatusOr<InsertBatchRequest> ParseInsertBatch(std::string_view payload);
 StatusOr<DeleteRequest> ParseDelete(std::string_view payload);
 StatusOr<StatsRequest> ParseStats(std::string_view payload);
 StatusOr<HealthRequest> ParseHealth(std::string_view payload);
+StatusOr<MetricsRequest> ParseMetrics(std::string_view payload);
 
 StatusOr<PongResponse> ParsePong(std::string_view payload);
 StatusOr<BatchResultResponse> ParseBatchResult(std::string_view payload);
 StatusOr<WriteAckResponse> ParseWriteAck(std::string_view payload);
 StatusOr<StatsResponse> ParseStatsResult(std::string_view payload);
 StatusOr<HealthResponse> ParseHealthResult(std::string_view payload);
+StatusOr<MetricsResponse> ParseMetricsResult(std::string_view payload);
 StatusOr<ErrorResponse> ParseError(std::string_view payload);
 
 // --- Frame assembly --------------------------------------------------------

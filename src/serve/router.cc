@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace flood {
 namespace serve {
@@ -92,6 +93,8 @@ void Router::RunBatchAsync(std::vector<Query> queries,
   subqueries_sent_.fetch_add(sent, std::memory_order_relaxed);
   subqueries_pruned_.fetch_add(pruned, std::memory_order_relaxed);
   queries_skipped_empty_.fetch_add(empties, std::memory_order_relaxed);
+  obs::GlobalRouterMetrics().subqueries->Add(sent);
+  obs::GlobalRouterMetrics().subqueries_pruned->Add(pruned);
 
   for (size_t s = 0; s < num_shards; ++s) {
     if (!sub[s].empty()) g->active.push_back(s);
@@ -110,6 +113,8 @@ void Router::RunBatchAsync(std::vector<Query> queries,
   for (const size_t s : g->active) {
     backends_[s]->RunBatchAsync(
         std::move(sub[s]), [this, g, s](EngineBatchResult part) {
+          // Per-shard fan-out latency: scatter start -> this shard's reply.
+          obs::GlobalRouterMetrics().fanout_ns->Record(g->wall.ElapsedNanos());
           g->parts[s] = std::move(part);
           if (g->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             Finish(g.get());

@@ -11,12 +11,15 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 
 namespace flood {
 namespace serve {
@@ -47,6 +50,9 @@ struct Server::Connection {
   int fd = -1;
   uint64_t id = 0;
   bool is_tcp = false;
+  /// Accepted on the metrics listener: speaks HTTP, not the wire protocol.
+  bool is_http = false;
+  std::string http_buf;  ///< Raw request bytes until the header terminator.
   FrameAssembler assembler;
   std::string outbuf;
   size_t out_pos = 0;
@@ -77,6 +83,7 @@ Server::~Server() {
     if (conn->fd >= 0) ::close(conn->fd);
   }
   if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
+  if (metrics_listen_fd_ >= 0) ::close(metrics_listen_fd_);
   if (uds_listen_fd_ >= 0) {
     ::close(uds_listen_fd_);
     if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
@@ -186,6 +193,53 @@ Status Server::Init() {
     if (::listen(uds_listen_fd_, 128) < 0) return Errno("listen(unix)");
     FLOOD_RETURN_IF_ERROR(watch(uds_listen_fd_));
   }
+
+  if (!options_.metrics_addr.empty()) {
+    const size_t colon = options_.metrics_addr.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("metrics_addr needs host:port, got " +
+                                     options_.metrics_addr);
+    }
+    const std::string host = options_.metrics_addr.substr(0, colon);
+    const std::string port_str = options_.metrics_addr.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port > 65535) {
+      return Status::InvalidArgument("bad metrics_addr port " + port_str);
+    }
+    metrics_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                               SOCK_CLOEXEC, 0);
+    if (metrics_listen_fd_ < 0) return Errno("socket(metrics)");
+    const int one = 1;
+    (void)::setsockopt(metrics_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad metrics_addr host " + host);
+    }
+    if (::bind(metrics_listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      return Errno("bind(" + options_.metrics_addr + ")");
+    }
+    if (::listen(metrics_listen_fd_, 16) < 0) return Errno("listen(metrics)");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(metrics_listen_fd_,
+                      reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+      return Errno("getsockname(metrics)");
+    }
+    metrics_port_ = ntohs(addr.sin_port);
+    FLOOD_RETURN_IF_ERROR(watch(metrics_listen_fd_));
+    // Pre-register every layer's bundle so the first scrape already
+    // exposes the full zero-valued series set (rate() works from t=0)
+    // instead of families appearing as code paths first run.
+    (void)obs::GlobalDbMetrics();
+    (void)obs::GlobalServeMetrics();
+    (void)obs::GlobalRouterMetrics();
+    (void)obs::GlobalPersistMetrics();
+  }
   return Status::OK();
 }
 
@@ -257,7 +311,8 @@ Status Server::Loop() {
         BeginDrain();
         continue;
       }
-      if (fd == tcp_listen_fd_ || fd == uds_listen_fd_) {
+      if (fd == tcp_listen_fd_ || fd == uds_listen_fd_ ||
+          fd == metrics_listen_fd_) {
         HandleAccept(fd);
         continue;
       }
@@ -291,6 +346,8 @@ Status Server::Loop() {
       by_id_.erase(it->second->id);
       conns_.erase(it);
       counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+      obs::GlobalServeMetrics().connections->Set(static_cast<int64_t>(
+          counters_.connections_active.load(std::memory_order_relaxed)));
     }
 
     if (draining_ && draining_done()) loop_done_ = true;
@@ -335,6 +392,11 @@ void Server::BeginDrain() {
     uds_listen_fd_ = -1;
     ::unlink(options_.uds_path.c_str());
   }
+  if (metrics_listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, metrics_listen_fd_, nullptr);
+    ::close(metrics_listen_fd_);
+    metrics_listen_fd_ = -1;
+  }
   // Final read pass: requests already in a socket buffer at drain time
   // are still answered — executed if admitted, or shed with a typed
   // kShuttingDown (HandleFrame's draining_ branch). MaybeFinish (via
@@ -374,7 +436,8 @@ void Server::HandleAccept(int listener_fd) {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
-    conn->is_tcp = listener_fd == tcp_listen_fd_;
+    conn->is_tcp = listener_fd != uds_listen_fd_;
+    conn->is_http = listener_fd == metrics_listen_fd_;
     conn->last_activity = std::chrono::steady_clock::now();
     conn->events = EPOLLIN | EPOLLRDHUP;
     if (conn->is_tcp) {
@@ -392,6 +455,8 @@ void Server::HandleAccept(int listener_fd) {
     }
     counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    obs::GlobalServeMetrics().connections->Set(static_cast<int64_t>(
+        counters_.connections_active.load(std::memory_order_relaxed)));
     by_id_[conn->id] = conn.get();
     conns_[fd] = std::move(conn);
   }
@@ -404,6 +469,9 @@ void Server::PauseListeners() {
   }
   if (uds_listen_fd_ >= 0) {
     (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, uds_listen_fd_, nullptr);
+  }
+  if (metrics_listen_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, metrics_listen_fd_, nullptr);
   }
   listeners_paused_ = true;
   listener_resume_at_ =
@@ -424,9 +492,14 @@ void Server::ResumeListeners() {
   };
   rearm(tcp_listen_fd_);
   rearm(uds_listen_fd_);
+  rearm(metrics_listen_fd_);
 }
 
 void Server::HandleReadable(Connection* conn) {
+  if (conn->is_http) {
+    HandleHttpReadable(conn);
+    return;
+  }
   if (conn->closing) {
     // Reads are done for this connection; swallow and drop.
     char buf[kReadChunk];
@@ -461,6 +534,87 @@ void Server::HandleReadable(Connection* conn) {
     // The peer is gone; any response we could still produce has no reader.
     CloseConnection(conn);
   }
+}
+
+void Server::HandleHttpReadable(Connection* conn) {
+  char buf[kReadChunk];
+  if (conn->closing) {
+    // Response already queued; swallow and drop whatever else arrives.
+    while (::recv(conn->fd, buf, sizeof(buf), 0) > 0) {
+    }
+    return;
+  }
+  constexpr size_t kMaxHttpHeader = 8 * 1024;
+  bool peer_closed = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      counters_.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                   std::memory_order_relaxed);
+      conn->http_buf.append(buf, static_cast<size_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    counters_.recv_errors.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return;
+  }
+  const size_t header_end = conn->http_buf.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    // Headers still incomplete; a peer that hung up (or blew the cap)
+    // will never complete them.
+    if (peer_closed || conn->http_buf.size() > kMaxHttpHeader) {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  const size_t line_end = conn->http_buf.find("\r\n");
+  const std::string line = conn->http_buf.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  std::string path = (sp1 == std::string::npos || sp2 == std::string::npos)
+                         ? ""
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string status_line;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status_line = "405 Method Not Allowed";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics" || path == "/") {
+    status_line = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::RenderPrometheus(obs::MetricsRegistry::Instance().SnapshotAll(),
+                                 Introspect());
+    obs::GlobalServeMetrics().scrapes->Add(1);
+  } else {
+    status_line = "404 Not Found";
+    body = "try /metrics\n";
+  }
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.0 %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status_line.c_str(), content_type.c_str(), body.size());
+  conn->outbuf.append(header);
+  conn->outbuf.append(body);
+  conn->closing = true;  // One response per connection, then close.
+  FlushOrArm(conn);
+  MaybeFinish(conn);
 }
 
 void Server::ProcessFrames(Connection* conn) {
@@ -601,6 +755,18 @@ void Server::HandleFrame(Connection* conn, const Frame& frame,
       AppendStatsResult(resp, &conn->outbuf);
       return;
     }
+    case MessageType::kMetrics: {
+      StatusOr<MetricsRequest> req = ParseMetrics(frame.payload);
+      if (!req.ok()) break;
+      // Answered inline like Stats: a full typed snapshot (every registry
+      // histogram with its buckets) plus the flat Introspect() map.
+      MetricsResponse resp;
+      resp.request_id = req->request_id;
+      resp.metrics = obs::MetricsRegistry::Instance().SnapshotAll();
+      resp.entries = Introspect();
+      AppendMetricsResult(resp, &conn->outbuf);
+      return;
+    }
     case MessageType::kHealth: {
       StatusOr<HealthRequest> req = ParseHealth(frame.payload);
       if (!req.ok()) break;
@@ -637,23 +803,28 @@ void Server::SubmitGroup(Connection* conn, std::vector<GroupFrame> frames,
   counters_.batches_submitted.fetch_add(1, std::memory_order_relaxed);
   counters_.queries_executed.fetch_add(queries.size(),
                                        std::memory_order_relaxed);
+  obs::GlobalServeMetrics().frames->Add(frames.size());
+  obs::GlobalServeMetrics().batch_queries->Record(
+      static_cast<int64_t>(queries.size()));
   const uint64_t depth =
       counters_.queue_depth.fetch_add(1, std::memory_order_relaxed) + 1;
   BumpHwm(counters_.queue_depth_hwm, depth);
   ++conn->inflight_groups;
 
   const uint64_t conn_id = conn->id;
+  const Stopwatch submitted;  // Group frame latency is measured from here.
   // The callback runs on an engine worker (a pool thread, a router shard
   // completion, or inline when there is no pool): it only touches the
   // completion queue and the eventfd — all socket and connection state
   // stays loop-owned.
   engine_->RunBatchAsync(
-      std::move(queries), [this, conn_id, frames = std::move(frames)](
+      std::move(queries), [this, conn_id, submitted,
+                           frames = std::move(frames)](
                               EngineBatchResult batch) mutable {
         {
           std::lock_guard<std::mutex> lock(completions_mu_);
           completions_.push_back(
-              {conn_id, std::move(frames), std::move(batch)});
+              {conn_id, std::move(frames), std::move(batch), submitted});
         }
         const uint64_t one = 1;
         [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
@@ -668,6 +839,15 @@ void Server::DrainCompletions() {
   }
   for (Completion& c : done) {
     counters_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    // Group timings: end-to-end frame latency (submit -> drained), engine
+    // execution time, and their difference — the queue wait (pool +
+    // completion-drain delay). Recorded even if the connection died.
+    const int64_t frame_ns = c.submitted.ElapsedNanos();
+    const int64_t exec_ns = static_cast<int64_t>(c.batch.wall_ms * 1e6);
+    obs::GlobalServeMetrics().frame_ns->Record(frame_ns);
+    obs::GlobalServeMetrics().exec_ns->Record(exec_ns);
+    obs::GlobalServeMetrics().queue_wait_ns->Record(
+        frame_ns > exec_ns ? frame_ns - exec_ns : 0);
     auto it = by_id_.find(c.conn_id);
     if (it == by_id_.end() || it->second->dead) continue;  // Conn is gone.
     Connection* conn = it->second;

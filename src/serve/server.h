@@ -14,6 +14,7 @@
 
 #include "api/database.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 
@@ -46,6 +47,14 @@ struct ServerOptions {
   /// Connections idle (no bytes read or written) longer than this are
   /// closed. 0 disables the sweep.
   int64_t idle_timeout_ms = 60'000;
+
+  /// Prometheus scrape endpoint: "host:port" (e.g. "127.0.0.1:9100",
+  /// port 0 = kernel-assigned, read back via metrics_port()). "" (the
+  /// default) disables it. The listener lives inside the same epoll loop
+  /// as the wire protocol — no extra thread — and serves GET /metrics
+  /// as text exposition v0.0.4 (one response per connection, then
+  /// close). See docs/metrics.md.
+  std::string metrics_addr;
 };
 
 /// Snapshot of the per-server counters (also flattened into the Stats wire
@@ -141,6 +150,9 @@ class Server {
   /// Resolved TCP port (after Create; meaningful when listen_tcp).
   uint16_t tcp_port() const { return tcp_port_; }
   const std::string& uds_path() const { return options_.uds_path; }
+  /// Resolved metrics HTTP port (after Create; meaningful when
+  /// metrics_addr was set).
+  uint16_t metrics_port() const { return metrics_port_; }
 
   /// Point-in-time counter snapshot; safe from any thread while running.
   ServerCounters counters() const;
@@ -169,6 +181,9 @@ class Server {
     uint64_t conn_id = 0;
     std::vector<GroupFrame> frames;
     EngineBatchResult batch;
+    /// Started at SubmitGroup: elapsed at drain time is the group's
+    /// end-to-end frame latency (flood_serve_frame_ns).
+    Stopwatch submitted;
   };
 
   Server(BatchEngine* engine, std::unique_ptr<BatchEngine> owned,
@@ -184,6 +199,10 @@ class Server {
   void PauseListeners();
   void ResumeListeners();
   void HandleReadable(Connection* conn);
+  /// Minimal HTTP/1.0-style handling for metrics-listener connections:
+  /// buffer until the header terminator, answer GET / or /metrics with
+  /// the Prometheus exposition, anything else with 404/405, then close.
+  void HandleHttpReadable(Connection* conn);
   void HandleWritable(Connection* conn);
   void ProcessFrames(Connection* conn);
   void HandleFrame(Connection* conn, const Frame& frame,
@@ -211,9 +230,11 @@ class Server {
   int epoll_fd_ = -1;
   int tcp_listen_fd_ = -1;
   int uds_listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;  ///< Prometheus HTTP listener (optional).
   int wake_fd_ = -1;      ///< eventfd: batch completions ready.
   int shutdown_fd_ = -1;  ///< eventfd: Shutdown() was called.
   uint16_t tcp_port_ = 0;
+  uint16_t metrics_port_ = 0;
 
   /// Event-loop-owned connection state (no locking: only Loop() touches
   /// it). `by_id_` maps the generation-safe ids completions carry.

@@ -204,6 +204,94 @@ TEST(ServeProtocolTest, HealthRoundTrip) {
   EXPECT_EQ(parsed->connections_active, 3u);
 }
 
+TEST(ServeProtocolTest, MetricsRoundTripPreservesHistogramBuckets) {
+  std::string out;
+  AppendMetrics({51}, &out);
+
+  MetricsResponse resp;
+  resp.request_id = 51;
+  obs::MetricSnapshot counter;
+  counter.name = "flood_db_queries_total";
+  counter.help = "queries executed";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.value = 12345.0;
+  resp.metrics.push_back(counter);
+  obs::MetricSnapshot gauge;
+  gauge.name = "flood_serve_connections";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = -3.0;  // Gauges are signed.
+  resp.metrics.push_back(gauge);
+  obs::MetricSnapshot hist;
+  hist.name = "flood_db_query_ns";
+  hist.help = "per-query latency";
+  hist.kind = obs::MetricKind::kHistogram;
+  for (int64_t v : {0, 1, 7, 1000, 123456, 999999999}) hist.hist.Record(v);
+  resp.metrics.push_back(hist);
+  resp.entries = {{"serve.frames_decoded", 9.0}, {"db.num_rows", 2e6}};
+  AppendMetricsResult(resp, &out);
+
+  const std::vector<Frame> frames = Assemble(out);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MessageType::kMetrics);
+  const StatusOr<MetricsRequest> req = ParseMetrics(frames[0].payload);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->request_id, 51u);
+
+  EXPECT_EQ(frames[1].type, MessageType::kMetricsResult);
+  const StatusOr<MetricsResponse> parsed =
+      ParseMetricsResult(frames[1].payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->request_id, 51u);
+  ASSERT_EQ(parsed->metrics.size(), 3u);
+  EXPECT_EQ(parsed->metrics[0].name, "flood_db_queries_total");
+  EXPECT_EQ(parsed->metrics[0].help, "queries executed");
+  EXPECT_EQ(parsed->metrics[0].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(parsed->metrics[0].value, 12345.0);
+  EXPECT_EQ(parsed->metrics[1].value, -3.0);
+  const obs::HistogramData& h = parsed->metrics[2].hist;
+  EXPECT_EQ(h.count, hist.hist.count);
+  EXPECT_EQ(h.sum, hist.hist.sum);
+  EXPECT_EQ(h.max, hist.hist.max);
+  EXPECT_EQ(h.buckets, hist.hist.buckets);  // Sparse coding is lossless.
+  EXPECT_EQ(parsed->entries, resp.entries);
+}
+
+TEST(ServeProtocolTest, MetricsResultRejectsBadKindAndBucketIndex) {
+  MetricsResponse resp;
+  resp.request_id = 1;
+  obs::MetricSnapshot m;
+  m.name = "x";
+  m.kind = obs::MetricKind::kHistogram;
+  m.hist.Record(42);
+  resp.metrics.push_back(m);
+  std::string out;
+  AppendMetricsResult(resp, &out);
+  const std::vector<Frame> frames = Assemble(out);
+  ASSERT_EQ(frames.size(), 1u);
+  const std::string& good = frames[0].payload;
+  ASSERT_TRUE(ParseMetricsResult(good).ok());
+
+  // Kind byte follows request_id(8) + count(4) + name(4+1) + help(4): 21.
+  std::string bad_kind = good;
+  bad_kind[21] = 3;
+  EXPECT_FALSE(ParseMetricsResult(bad_kind).ok());
+
+  // A histogram claiming more non-empty buckets than bytes remain.
+  std::string payload;
+  ByteWriter w(&payload);
+  w.PutU64(1);          // request_id
+  w.PutU32(1);          // num_metrics
+  w.PutU32(1);          // name len
+  w.PutU8('x');
+  w.PutU32(0);          // help len
+  w.PutU8(2);           // histogram
+  w.PutU64(1);          // count
+  w.PutI64(1);          // sum
+  w.PutI64(1);          // max
+  w.PutU32(0x00FFFFFF); // nonempty buckets: absurd
+  EXPECT_FALSE(ParseMetricsResult(payload).ok());
+}
+
 TEST(ServeProtocolTest, HealthResultRejectsNonBooleanFlags) {
   std::string out;
   HealthResponse resp;
@@ -421,6 +509,10 @@ TEST(ServeProtocolFuzzTest, RandomGarbagePayloadsNeverCrashParsers) {
     (void)ParseBatchResult(payload);
     (void)ParseWriteAck(payload);
     (void)ParseStatsResult(payload);
+    (void)ParseHealth(payload);
+    (void)ParseHealthResult(payload);
+    (void)ParseMetrics(payload);
+    (void)ParseMetricsResult(payload);
     (void)ParseError(payload);
   }
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Metrics-overhead guard for CI.
+
+Compares bench_throughput QPS between a -DFLOOD_METRICS=OFF build and the
+default (metrics-on) build and fails when recording costs more than
+--max-regression-pct overall. Accepts several JSON reports per side (the
+CI job runs best-of-3): per benchmark the *best* QPS across runs is used,
+which suppresses one-off runner noise without hiding a systematic cost.
+
+The verdict is the geometric mean of per-benchmark on/off ratios — a
+single noisy cell can't fail (or pass) the gate by itself.
+
+  python3 tools/check_metrics_overhead.py \
+      --off off_1.json off_2.json --on on_1.json on_2.json \
+      --max-regression-pct 3
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def best_qps(paths):
+    """{benchmark name: best qps across all reports}."""
+    best = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        for bench in report.get("benchmarks", []):
+            name = bench.get("name")
+            if name is None or bench.get("run_type") == "aggregate":
+                continue
+            if "qps" not in bench:
+                continue
+            qps = float(bench["qps"])
+            if qps > best.get(name, 0.0):
+                best[name] = qps
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--off", nargs="+", required=True,
+                        help="reports from the -DFLOOD_METRICS=OFF build")
+    parser.add_argument("--on", nargs="+", required=True,
+                        help="reports from the metrics-on build")
+    parser.add_argument("--max-regression-pct", type=float, default=3.0)
+    args = parser.parse_args()
+
+    off = best_qps(args.off)
+    on = best_qps(args.on)
+    common = sorted(set(off) & set(on))
+    if not common:
+        print("FAIL: no qps benchmarks in common between the two builds")
+        return 1
+
+    log_ratio_sum = 0.0
+    for name in common:
+        ratio = on[name] / off[name]
+        log_ratio_sum += math.log(ratio)
+        print(f"{name}: off={off[name]:.0f} on={on[name]:.0f} "
+              f"({(ratio - 1) * 100:+.2f}%)")
+    geomean = math.exp(log_ratio_sum / len(common))
+    regression_pct = (1 - geomean) * 100
+    print(f"geometric mean on/off: {geomean:.4f} "
+          f"({-regression_pct:+.2f}% vs metrics-off)")
+    if regression_pct > args.max_regression_pct:
+        print(f"FAIL: metrics recording costs {regression_pct:.2f}% QPS "
+              f"(budget {args.max_regression_pct}%)")
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (v0.0.4) read from stdin or a file.
+
+Used by the CI metrics smoke job to check what flood_serve's /metrics
+endpoint actually emits (tests cover the renderer; this covers the wire).
+Checks, strictly:
+
+  - every line is a comment, blank, or a parseable `name{labels} value`
+    sample with a finite float value
+  - `# TYPE` appears at most once per metric family, before any of the
+    family's samples
+  - sample names belong to a declared family (exact, or `_bucket`,
+    `_sum`, `_count` suffixes for histograms/summaries)
+  - histogram bucket series are cumulative in `le` order, end with
+    `le="+Inf"`, and the +Inf count equals the family's `_count` sample
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+
+Exit 0 when valid; exit 1 with one line per violation otherwise.
+Stdlib only.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name, types):
+    """Maps a sample name onto its declared family, if any."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return None
+
+
+def check(lines):
+    errors = []
+    types = {}  # family -> declared type
+    seen_samples = set()  # families that have emitted a sample
+    buckets = {}  # family -> list of (le, cumulative count)
+    counts = {}  # family -> value of the `_count` sample
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+
+        def err(message):
+            errors.append("line %d: %s (%r)" % (lineno, message, line[:120]))
+
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ")
+            if len(parts) != 2:
+                err("malformed TYPE line")
+                continue
+            family, kind = parts
+            if not NAME_RE.match(family):
+                err("bad family name in TYPE")
+            if kind not in VALID_TYPES:
+                err("unknown type %r" % kind)
+            if family in types:
+                err("duplicate TYPE for family %r" % family)
+            if family in seen_samples:
+                err("TYPE for %r after its samples" % family)
+            types[family] = kind
+            continue
+        if line.startswith("#") or not line.strip():
+            continue  # HELP, other comments, blank lines
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("unparseable sample line")
+            continue
+        name = m.group("name")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            err("non-numeric sample value")
+            continue
+
+        labels = {}
+        if m.group("labels") is not None:
+            for part in filter(None, m.group("labels").split(",")):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    err("malformed label %r" % part)
+                    break
+                labels[lm.group(1)] = lm.group(2)
+
+        family = family_of(name, types)
+        if family is None:
+            err("sample %r has no preceding TYPE declaration" % name)
+            continue
+        seen_samples.add(family)
+
+        if name == family + "_bucket" and types.get(family) == "histogram":
+            if "le" not in labels:
+                err("histogram bucket without le label")
+                continue
+            try:
+                le = parse_value(labels["le"])
+            except ValueError:
+                err("non-numeric le %r" % labels["le"])
+                continue
+            series = buckets.setdefault(family, [])
+            if series:
+                prev_le, prev_count = series[-1]
+                if not le > prev_le:
+                    err("bucket le not increasing (%s after %s)"
+                        % (labels["le"], prev_le))
+                if value < prev_count:
+                    err("bucket counts not cumulative")
+            series.append((le, value))
+        elif name == family + "_count":
+            counts[family] = value
+
+    for family, kind in types.items():
+        if kind != "histogram" or family not in seen_samples:
+            continue
+        series = buckets.get(family, [])
+        if not series:
+            errors.append("histogram %r has no bucket series" % family)
+            continue
+        last_le, last_count = series[-1]
+        if last_le != math.inf:
+            errors.append("histogram %r does not end at le=+Inf" % family)
+        if family in counts and counts[family] != last_count:
+            errors.append(
+                "histogram %r: +Inf bucket %g != _count %g"
+                % (family, last_count, counts[family])
+            )
+
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_prom_format.py [FILE]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    errors = check(lines)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        return 1
+    print("ok: %d lines" % len(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@
 #include "api/sharded_database.h"
 #include "data/datasets.h"
 #include "serve/client.h"
+#include "serve/metrics_summary.h"
 #include "serve/router.h"
 #include "serve/server.h"
 
@@ -62,6 +63,9 @@ void Usage(const char* argv0) {
       "  --tcp PORT            listen on TCP (0 = pick a free port; the\n"
       "                        resolved port is printed on stdout)\n"
       "  --host IPV4           TCP bind address (default 127.0.0.1)\n"
+      "  --metrics-addr H:P    Prometheus scrape endpoint (GET /metrics,\n"
+      "                        port 0 = pick a free port). Off by\n"
+      "                        default. See docs/metrics.md.\n"
       "\n"
       "Shard flags — in-process mode (synthetic data, single box):\n"
       "  --shards N            partition into N local Database shards\n"
@@ -89,7 +93,8 @@ void Usage(const char* argv0) {
       "  --idle-timeout-ms MS  close idle connections (default 60000)\n"
       "\n"
       "--check probes a running router (or flood_serve — same protocol)\n"
-      "via kHealth with bounded deadlines; exit 0 iff ready. A router is\n"
+      "via kHealth with bounded deadlines and prints a one-screen metrics\n"
+      "summary from its kMetrics snapshot; exit 0 iff ready. A router is\n"
       "ready iff every shard backend is ready.\n",
       argv0, argv0);
 }
@@ -120,6 +125,13 @@ int CheckHealth(const std::string& address) {
       health->persist_poisoned ? 1 : 0,
       static_cast<unsigned long long>(health->queue_depth),
       static_cast<unsigned long long>(health->connections_active));
+  auto metrics = client->Metrics();
+  if (metrics.ok()) {
+    std::fputs(flood::serve::FormatMetricsSummary(*metrics).c_str(), stdout);
+  } else {
+    std::fprintf(stderr, "metrics: %s\n",
+                 metrics.status().ToString().c_str());
+  }
   return (health->ready && !health->persist_poisoned) ? 0 : 1;
 }
 
@@ -157,6 +169,7 @@ int main(int argc, char** argv) {
   long threads = 0;  // 0 = hardware concurrency.
   long max_inflight = 64;
   long idle_timeout_ms = 60'000;
+  std::string metrics_addr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -176,6 +189,8 @@ int main(int argc, char** argv) {
       tcp_port = std::atol(next());
     } else if (arg == "--host") {
       host = next();
+    } else if (arg == "--metrics-addr") {
+      metrics_addr = next();
     } else if (arg == "--shards") {
       shards = std::atol(next());
     } else if (arg == "--rows") {
@@ -294,6 +309,7 @@ int main(int argc, char** argv) {
   sopts.tcp_port = static_cast<uint16_t>(tcp_port);
   sopts.max_inflight_batches = static_cast<size_t>(max_inflight);
   sopts.idle_timeout_ms = idle_timeout_ms;
+  sopts.metrics_addr = metrics_addr;
 
   flood::StatusOr<std::unique_ptr<flood::serve::Server>> server =
       flood::serve::Server::Create(router.get(), std::move(sopts));
@@ -315,6 +331,9 @@ int main(int argc, char** argv) {
   }
   if (listen_tcp) {
     std::printf("listening tcp %s:%u\n", host.c_str(), (*server)->tcp_port());
+  }
+  if (!metrics_addr.empty()) {
+    std::printf("metrics http port %u\n", (*server)->metrics_port());
   }
   std::printf("routing across %zu shards\n", router->num_shards());
   std::fflush(stdout);

@@ -24,6 +24,7 @@
 #include "api/database.h"
 #include "data/datasets.h"
 #include "serve/client.h"
+#include "serve/metrics_summary.h"
 #include "serve/server.h"
 
 namespace {
@@ -49,6 +50,10 @@ void Usage(const char* argv0) {
       "  --tcp PORT            listen on TCP (0 = pick a free port; the\n"
       "                        resolved port is printed on stdout)\n"
       "  --host IPV4           TCP bind address (default 127.0.0.1)\n"
+      "  --metrics-addr H:P    Prometheus scrape endpoint (GET /metrics,\n"
+      "                        text exposition v0.0.4; port 0 = pick a\n"
+      "                        free port, printed on stdout). Off by\n"
+      "                        default. See docs/metrics.md.\n"
       "\n"
       "Data flags (pick one source):\n"
       "  --snapshot PATH       open a PR 5 snapshot: fast learned-layout\n"
@@ -67,7 +72,8 @@ void Usage(const char* argv0) {
       "  --idle-timeout-ms MS  close idle connections (default 60000)\n"
       "\n"
       "--check probes a running server's kHealth endpoint (bounded\n"
-      "deadlines, never hangs on a dead address); exit 0 iff ready,\n"
+      "deadlines, never hangs on a dead address) and prints a one-screen\n"
+      "metrics summary from its kMetrics snapshot; exit 0 iff ready,\n"
       "1 when reachable but draining/poisoned, 2 when unreachable.\n"
       "SIGTERM/SIGINT drain cleanly: in-flight work finishes, new\n"
       "requests are shed with kShuttingDown, then exit 0.\n",
@@ -102,6 +108,13 @@ int CheckHealth(const std::string& address) {
       health->persist_poisoned ? 1 : 0,
       static_cast<unsigned long long>(health->queue_depth),
       static_cast<unsigned long long>(health->connections_active));
+  auto metrics = client->Metrics();
+  if (metrics.ok()) {
+    std::fputs(flood::serve::FormatMetricsSummary(*metrics).c_str(), stdout);
+  } else {
+    std::fprintf(stderr, "metrics: %s\n",
+                 metrics.status().ToString().c_str());
+  }
   return (health->ready && !health->persist_poisoned) ? 0 : 1;
 }
 
@@ -119,6 +132,7 @@ int main(int argc, char** argv) {
   long threads = 0;  // 0 = hardware concurrency.
   long max_inflight = 64;
   long idle_timeout_ms = 60'000;
+  std::string metrics_addr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +152,8 @@ int main(int argc, char** argv) {
       tcp_port = std::atol(next());
     } else if (arg == "--host") {
       host = next();
+    } else if (arg == "--metrics-addr") {
+      metrics_addr = next();
     } else if (arg == "--snapshot") {
       snapshot = next();
     } else if (arg == "--index") {
@@ -203,6 +219,7 @@ int main(int argc, char** argv) {
   sopts.tcp_port = static_cast<uint16_t>(tcp_port);
   sopts.max_inflight_batches = static_cast<size_t>(max_inflight);
   sopts.idle_timeout_ms = idle_timeout_ms;
+  sopts.metrics_addr = metrics_addr;
 
   flood::StatusOr<std::unique_ptr<flood::serve::Server>> server =
       flood::serve::Server::Create(&*db, std::move(sopts));
@@ -225,6 +242,9 @@ int main(int argc, char** argv) {
   if (listen_tcp) {
     std::printf("listening tcp %s:%u\n", host.c_str(),
                 (*server)->tcp_port());
+  }
+  if (!metrics_addr.empty()) {
+    std::printf("metrics http port %u\n", (*server)->metrics_port());
   }
   std::printf("serving %zu rows via '%s' on %zu threads\n", db->num_rows(),
               index_name.c_str(), db->num_threads());
